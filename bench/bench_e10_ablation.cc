@@ -1,0 +1,122 @@
+/**
+ * @file
+ * E10 - Design-choice ablations (DESIGN.md decisions 3-5):
+ *  - PGU insertion source: all compares vs region compares only
+ *  - PGU inserted value: relation bit vs first write vs both writes
+ *  - pset pseudo-defines included or not
+ *  - SFPF define tracking: exact writes vs conservative (any fetched
+ *    define blocks) - and training on squashed branches.
+ * Reported as suite-mean mispredict rate and inserted bits.
+ */
+
+#include <functional>
+
+#include "common.hh"
+
+using namespace pabp;
+using namespace pabp::bench;
+
+namespace {
+
+struct Ablation
+{
+    std::string label;
+    std::function<void(EngineConfig &)> apply;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = standardOptions();
+    if (!opts.parse(argc, argv))
+        return 0;
+    std::uint64_t steps =
+        static_cast<std::uint64_t>(opts.integer("steps"));
+    std::uint64_t seed = static_cast<std::uint64_t>(opts.integer("seed"));
+
+    const std::vector<Ablation> ablations = {
+        {"base gshare (no techniques)", [](EngineConfig &) {}},
+        {"both, defaults",
+         [](EngineConfig &e) {
+             e.useSfpf = true;
+             e.usePgu = true;
+         }},
+        {"PGU source: region cmps only",
+         [](EngineConfig &e) {
+             e.useSfpf = true;
+             e.usePgu = true;
+             e.pgu.source = PguSource::RegionCmps;
+         }},
+        {"PGU value: first write",
+         [](EngineConfig &e) {
+             e.useSfpf = true;
+             e.usePgu = true;
+             e.pgu.value = PguValue::FirstWrite;
+         }},
+        {"PGU value: both writes",
+         [](EngineConfig &e) {
+             e.useSfpf = true;
+             e.usePgu = true;
+             e.pgu.value = PguValue::BothWrites;
+         }},
+        {"PGU: include pset defines",
+         [](EngineConfig &e) {
+             e.useSfpf = true;
+             e.usePgu = true;
+             e.pgu.includePSet = true;
+         }},
+        {"SFPF: conservative def tracking",
+         [](EngineConfig &e) {
+             e.useSfpf = true;
+             e.usePgu = true;
+             e.conservativeDefTracking = true;
+         }},
+        {"SFPF: train on squashed",
+         [](EngineConfig &e) {
+             e.useSfpf = true;
+             e.usePgu = true;
+             e.trainOnSquashed = true;
+         }},
+    };
+
+    std::cout << "E10: design ablations (suite means, gshare-4K)\n\n";
+
+    Table table({"configuration", "mispredict", "squash%",
+                 "pgu-bits/kinst"});
+    for (const Ablation &ablation : ablations) {
+        double sum_rate = 0.0, sum_squash = 0.0, sum_bits = 0.0;
+        for (const std::string &name : workloadNames()) {
+            Workload wl = makeWorkload(name, seed);
+            CompileOptions copts;
+            CompiledProgram cp = compileWorkload(wl, copts);
+            PredictorPtr pred = makePredictor("gshare", 12);
+            EngineConfig ecfg;
+            ablation.apply(ecfg);
+            PredictionEngine engine(*pred, ecfg);
+            Emulator emu(cp.prog);
+            if (wl.init)
+                wl.init(emu.state());
+            runTrace(emu, engine, steps);
+            const EngineStats &stats = engine.stats();
+            sum_rate += stats.all.mispredictRate();
+            sum_squash += stats.all.branches
+                ? static_cast<double>(stats.all.squashed) /
+                    static_cast<double>(stats.all.branches)
+                : 0.0;
+            sum_bits += 1000.0 *
+                static_cast<double>(engine.pguBitsInserted()) /
+                static_cast<double>(stats.insts);
+        }
+        double n = static_cast<double>(workloadNames().size());
+        table.startRow();
+        table.cell(ablation.label);
+        table.percentCell(sum_rate / n);
+        table.percentCell(sum_squash / n);
+        table.cell(sum_bits / n, 1);
+    }
+
+    emitTable(table, opts);
+    return 0;
+}

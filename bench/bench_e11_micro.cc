@@ -1,0 +1,97 @@
+/**
+ * @file
+ * E11: google-benchmark microbenchmarks of predictor lookup/update
+ * throughput and the engine's per-instruction overhead. These measure
+ * the simulator itself (host-side cost), complementing the simulated
+ * results of E1-E10.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bpred/factory.hh"
+#include "core/engine.hh"
+#include "sim/emulator.hh"
+#include "util/rng.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace pabp;
+
+void
+BM_PredictorPredictUpdate(benchmark::State &state,
+                          const std::string &kind)
+{
+    PredictorPtr pred = makePredictor(kind, 12);
+    Rng rng(99);
+    std::vector<std::uint32_t> pcs(1024);
+    std::vector<bool> outcomes(1024);
+    for (std::size_t i = 0; i < pcs.size(); ++i) {
+        pcs[i] = static_cast<std::uint32_t>(rng.below(4096));
+        outcomes[i] = rng.chance(0.6);
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        bool taken = pred->predict(pcs[i]);
+        benchmark::DoNotOptimize(taken);
+        pred->update(pcs[i], outcomes[i]);
+        i = (i + 1) & 1023;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_CAPTURE(BM_PredictorPredictUpdate, bimodal, "bimodal");
+BENCHMARK_CAPTURE(BM_PredictorPredictUpdate, gshare, "gshare");
+BENCHMARK_CAPTURE(BM_PredictorPredictUpdate, local, "local");
+BENCHMARK_CAPTURE(BM_PredictorPredictUpdate, comb, "comb");
+
+void
+BM_EmulatorThroughput(benchmark::State &state)
+{
+    Workload wl = makeDchain(42);
+    CompileOptions copts;
+    CompiledProgram compiled = compileWorkload(wl, copts);
+
+    for (auto _ : state) {
+        state.PauseTiming();
+        Emulator emu(compiled.prog);
+        if (wl.init)
+            wl.init(emu.state());
+        state.ResumeTiming();
+        emu.run(100000);
+        benchmark::DoNotOptimize(emu.instsExecuted());
+    }
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+
+BENCHMARK(BM_EmulatorThroughput)->Unit(benchmark::kMillisecond);
+
+void
+BM_EngineThroughput(benchmark::State &state)
+{
+    Workload wl = makeDchain(42);
+    CompileOptions copts;
+    CompiledProgram compiled = compileWorkload(wl, copts);
+    PredictorPtr pred = makePredictor("gshare", 12);
+    EngineConfig ecfg;
+    ecfg.useSfpf = true;
+    ecfg.usePgu = true;
+
+    for (auto _ : state) {
+        state.PauseTiming();
+        Emulator emu(compiled.prog);
+        if (wl.init)
+            wl.init(emu.state());
+        PredictionEngine engine(*pred, ecfg);
+        state.ResumeTiming();
+        runTrace(emu, engine, 100000);
+        benchmark::DoNotOptimize(engine.stats().all.branches);
+    }
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+
+BENCHMARK(BM_EngineThroughput)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

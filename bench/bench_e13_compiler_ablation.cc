@@ -1,0 +1,135 @@
+/**
+ * @file
+ * E13 - Compiler-side ablations (the codegen choices DESIGN.md calls
+ * out):
+ *  1. Exit sinking on/off: sinking exit branches to the hyperblock
+ *     bottom is what gives the squash filter its define-to-branch
+ *     distance; with in-place exits the filter should starve.
+ *  2. Region size (maxBlocks) sweep: bigger hyperblocks convert more
+ *     branches but execute more inert instructions - the classic
+ *     predication trade-off, measured end to end.
+ */
+
+#include "common.hh"
+
+using namespace pabp;
+using namespace pabp::bench;
+
+namespace {
+
+constexpr std::uint64_t toHaltCap = 30'000'000;
+
+/** Instructions a workload needs to halt in branchy form. */
+std::uint64_t
+branchyInstsToHalt(const std::string &name, std::uint64_t seed)
+{
+    Workload wl = makeWorkload(name, seed);
+    CompileOptions nopts;
+    nopts.ifConvert = false;
+    CompiledProgram normal = compileWorkload(wl, nopts);
+    Emulator emu(normal.prog);
+    if (wl.init)
+        wl.init(emu.state());
+    emu.run(toHaltCap);
+    return emu.instsExecuted();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = standardOptions();
+    if (!opts.parse(argc, argv))
+        return 0;
+    std::uint64_t steps =
+        static_cast<std::uint64_t>(opts.integer("steps"));
+    std::uint64_t seed = static_cast<std::uint64_t>(opts.integer("seed"));
+
+    std::cout << "E13a: exit sinking ablation (gshare-4K + SFPF, "
+                 "delay=8)\n\n";
+
+    Table sink_table({"workload", "squash%(sunk)", "squash%(in-place)",
+                      "mispred(sunk)", "mispred(in-place)"});
+    for (const std::string &name : workloadNames()) {
+        EngineStats results[2];
+        for (int mode = 0; mode < 2; ++mode) {
+            RunSpec spec;
+            spec.engine.useSfpf = true;
+            spec.compile.lowering.sinkExits = mode == 0;
+            spec.maxInsts = steps;
+            spec.seed = seed;
+            results[mode] = runTraceSpec(makeWorkload(name, seed), spec);
+        }
+        sink_table.startRow();
+        sink_table.cell(name);
+        for (int mode = 0; mode < 2; ++mode) {
+            sink_table.percentCell(
+                results[mode].all.branches
+                    ? static_cast<double>(results[mode].all.squashed) /
+                        static_cast<double>(results[mode].all.branches)
+                    : 0.0);
+        }
+        for (int mode = 0; mode < 2; ++mode)
+            sink_table.percentCell(results[mode].all.mispredictRate());
+    }
+    emitTable(sink_table, opts);
+
+    std::cout << "E13b: hyperblock size sweep (suite means, "
+                 "gshare-4K + both techniques, runs to halt)\n\n";
+
+    std::vector<std::uint64_t> branchy_insts;
+    for (const std::string &name : workloadNames())
+        branchy_insts.push_back(branchyInstsToHalt(name, seed));
+
+    Table size_table({"maxBlocks", "static-regions", "region-br%",
+                      "mispredict", "squash%", "inst-overhead"});
+    for (unsigned max_blocks : {2u, 4u, 6u, 8u, 12u, 16u}) {
+        double sum_rate = 0.0, sum_share = 0.0, sum_squash = 0.0;
+        double sum_overhead = 0.0;
+        std::uint64_t regions = 0;
+        std::size_t idx = 0;
+        for (const std::string &name : workloadNames()) {
+            Workload wl = makeWorkload(name, seed);
+            CompileOptions copts;
+            copts.heuristics.maxBlocks = max_blocks;
+            CompiledProgram cp = compileWorkload(wl, copts);
+            regions += cp.info.numRegions;
+
+            PredictorPtr pred = makePredictor("gshare", 12);
+            EngineConfig ecfg;
+            ecfg.useSfpf = true;
+            ecfg.usePgu = true;
+            PredictionEngine engine(*pred, ecfg);
+            Emulator emu(cp.prog);
+            if (wl.init)
+                wl.init(emu.state());
+            runTrace(emu, engine, toHaltCap);
+            const EngineStats &stats = engine.stats();
+
+            sum_rate += stats.all.mispredictRate();
+            double branches = static_cast<double>(stats.all.branches);
+            sum_share += branches
+                ? static_cast<double>(stats.region.branches) / branches
+                : 0.0;
+            sum_squash += branches
+                ? static_cast<double>(stats.all.squashed) / branches
+                : 0.0;
+            sum_overhead += static_cast<double>(stats.insts) /
+                static_cast<double>(branchy_insts[idx]);
+            ++idx;
+        }
+        double n = static_cast<double>(workloadNames().size());
+        size_table.startRow();
+        size_table.cell(std::uint64_t{max_blocks});
+        size_table.cell(regions);
+        size_table.percentCell(sum_share / n);
+        size_table.percentCell(sum_rate / n);
+        size_table.percentCell(sum_squash / n);
+        size_table.cell(sum_overhead / n, 2);
+    }
+    emitTable(size_table, opts);
+    std::cout << "inst-overhead = predicated instructions to complete "
+                 "the same work,\nrelative to the branchy binary.\n";
+    return 0;
+}

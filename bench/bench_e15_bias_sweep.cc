@@ -1,0 +1,72 @@
+/**
+ * @file
+ * E15 - The motivation figure: where does predication win? A single
+ * diamond whose branch is taken with probability p is swept from
+ * coin-flip (p=0.5) to strongly biased (p=0.99). Branchy code pays
+ * mispredicts that peak at p=0.5; predicated code pays a constant
+ * both-paths tax. The IPC crossover reproduces the intro argument of
+ * every predication paper: if-convert the unpredictable branches,
+ * keep the biased ones.
+ */
+
+#include "common.hh"
+
+using namespace pabp;
+using namespace pabp::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = standardOptions();
+    if (!opts.parse(argc, argv))
+        return 0;
+    std::uint64_t steps =
+        static_cast<std::uint64_t>(opts.integer("steps"));
+    std::uint64_t seed = static_cast<std::uint64_t>(opts.integer("seed"));
+
+    std::cout << "E15: branch bias sweep on the diamond kernel "
+                 "(gshare-4K, width 6, penalty 8)\n\n";
+
+    Table table({"taken-prob", "mispredict(branchy)", "IPC(branchy)",
+                 "IPC(pred)", "IPC(pred+both)", "pred wins"});
+
+    PipelineConfig pcfg;
+    for (double bias : {0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99}) {
+        RunSpec branchy;
+        branchy.ifConvert = false;
+        branchy.maxInsts = steps;
+        branchy.seed = seed;
+        TimedResult b =
+            runTimedSpec(makeBiasWorkload(bias, seed), branchy, pcfg);
+
+        RunSpec pred = branchy;
+        pred.ifConvert = true;
+        TimedResult p =
+            runTimedSpec(makeBiasWorkload(bias, seed), pred, pcfg);
+
+        RunSpec both = pred;
+        both.engine.useSfpf = true;
+        both.engine.usePgu = true;
+        TimedResult pb =
+            runTimedSpec(makeBiasWorkload(bias, seed), both, pcfg);
+
+        table.startRow();
+        table.cell(bias, 2);
+        table.percentCell(b.engine.all.mispredictRate());
+        table.cell(b.pipe.ipc(), 3);
+        table.cell(p.pipe.ipc(), 3);
+        table.cell(pb.pipe.ipc(), 3);
+        table.cell(std::string(pb.pipe.ipc() > b.pipe.ipc() ? "yes"
+                                                            : "no"));
+    }
+
+    emitTable(table, opts);
+    std::cout << "expected shape: the predication margin is largest "
+                 "where the branch is\nhard (p near 0.5) and shrinks "
+                 "as bias approaches 1. On this in-order\nfront end "
+                 "predication also removes taken-branch redirect "
+                 "bubbles, so the\nmargin stays positive even for "
+                 "biased branches - fatter arms or a\nnarrower "
+                 "machine move the crossover into view.\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * E19 - Technique/baseline orthogonality: the paper evaluates PGU on
+ * a gshare-style predictor, but the mechanism (predicate bits in the
+ * global history) applies to any global-history predictor. Suite-mean
+ * mispredict for each history-based baseline with and without
+ * SFPF+PGU - the improvement should survive the move to stronger
+ * baselines, shrinking only where the baseline already extracts the
+ * correlation (perceptron's long history).
+ */
+
+#include "common.hh"
+
+using namespace pabp;
+using namespace pabp::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = standardOptions();
+    if (!opts.parse(argc, argv))
+        return 0;
+    std::uint64_t steps =
+        static_cast<std::uint64_t>(opts.integer("steps"));
+    std::uint64_t seed = static_cast<std::uint64_t>(opts.integer("seed"));
+
+    const std::vector<std::string> kinds = {"gag", "gshare", "comb",
+                                            "agree", "yags",
+                                            "perceptron"};
+
+    std::cout << "E19: SFPF+PGU across base predictors (suite means, "
+                 "2^12 budget class)\n\n";
+
+    Table table({"base predictor", "alone", "+SFPF+PGU", "reduction"});
+    for (const std::string &kind : kinds) {
+        double sum_alone = 0.0, sum_both = 0.0;
+        for (const std::string &name : workloadNames()) {
+            RunSpec alone;
+            alone.predictor = kind;
+            alone.maxInsts = steps;
+            alone.seed = seed;
+            sum_alone += runTraceSpec(makeWorkload(name, seed), alone)
+                             .all.mispredictRate();
+
+            RunSpec both = alone;
+            both.engine.useSfpf = true;
+            both.engine.usePgu = true;
+            sum_both += runTraceSpec(makeWorkload(name, seed), both)
+                            .all.mispredictRate();
+        }
+        double n = static_cast<double>(workloadNames().size());
+        table.startRow();
+        table.cell(kind);
+        table.percentCell(sum_alone / n);
+        table.percentCell(sum_both / n);
+        table.percentCell(sum_alone > 0.0
+                              ? (sum_alone - sum_both) / sum_alone
+                              : 0.0,
+                          1);
+    }
+
+    emitTable(table, opts);
+    std::cout << "expected shape: every global-history baseline "
+                 "improves; the margin is\nsmallest where the baseline "
+                 "already reaches the correlated bits\n(perceptron's "
+                 "long history).\n";
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * E1 - Benchmark characterisation (the paper's workload table):
+ * dynamic instruction counts in both compilation modes, conditional
+ * branch density, the dynamic share of region-based branches, the
+ * share of branches executed with a false guard (the squash filter's
+ * theoretical ceiling), and predicate-define density.
+ */
+
+#include "common.hh"
+
+using namespace pabp;
+using namespace pabp::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = standardOptions();
+    if (!opts.parse(argc, argv))
+        return 0;
+    // Characterisation runs to halt so the predication overhead
+    // (extra fetched instructions for the same work) is visible; the
+    // --steps option is only a safety cap here.
+    std::uint64_t steps = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(opts.integer("steps")), 40'000'000);
+    std::uint64_t seed = static_cast<std::uint64_t>(opts.integer("seed"));
+
+    std::cout << "E1: workload characterisation (to halt, seed=" << seed
+              << ")\n\n";
+
+    Table table({"workload", "insts(branchy)", "insts(pred)",
+                 "overhead", "cond-br(pred)", "region-br%",
+                 "false-guard%", "pdefines/kinst", "static-regions"});
+
+    for (const std::string &name : workloadNames()) {
+        // Branchy instruction count.
+        Workload wl_normal = makeWorkload(name, seed);
+        CompileOptions nopts;
+        nopts.ifConvert = false;
+        CompiledProgram normal = compileWorkload(wl_normal, nopts);
+        Emulator emu_n(normal.prog);
+        if (wl_normal.init)
+            wl_normal.init(emu_n.state());
+        emu_n.run(steps);
+        std::uint64_t branchy_insts = emu_n.instsExecuted();
+
+        // Predicated run through the engine for classified counts.
+        Workload wl = makeWorkload(name, seed);
+        RunSpec spec;
+        spec.maxInsts = steps;
+        spec.seed = seed;
+        CompileOptions copts;
+        CompiledProgram conv = compileWorkload(wl, copts);
+        EngineStats stats = runTraceSpec(makeWorkload(name, seed), spec);
+
+        table.startRow();
+        table.cell(name);
+        table.cell(branchy_insts);
+        table.cell(stats.insts);
+        table.cell(branchy_insts ? static_cast<double>(stats.insts) /
+                       static_cast<double>(branchy_insts)
+                                 : 0.0,
+                   2);
+        table.cell(stats.all.branches);
+        table.percentCell(
+            stats.all.branches
+                ? static_cast<double>(stats.region.branches) /
+                    static_cast<double>(stats.all.branches)
+                : 0.0);
+        table.percentCell(
+            stats.all.branches
+                ? static_cast<double>(stats.all.falseGuard) /
+                    static_cast<double>(stats.all.branches)
+                : 0.0);
+        table.cell(1000.0 *
+                       static_cast<double>(stats.predicateDefines) /
+                       static_cast<double>(stats.insts),
+                   1);
+        table.cell(static_cast<std::uint64_t>(conv.info.numRegions));
+    }
+
+    emitTable(table, opts);
+    std::cout << "region-br% = share of dynamic conditional branches "
+                 "that are region-based\nfalse-guard% = share executed "
+                 "with a false qualifying predicate (filter ceiling)\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * E2 - Baseline predictor comparison on predicated code: mispredict
+ * rates of the conventional predictor family (static, bimodal, GAg,
+ * gshare, local two-level, McFarling combining) at a fixed 4K-entry
+ * budget. This is the paper's "predicated code is still hard to
+ * predict" motivation table.
+ */
+
+#include "common.hh"
+
+using namespace pabp;
+using namespace pabp::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = standardOptions();
+    opts.declare("size-log2", "12", "predictor table size (log2)");
+    if (!opts.parse(argc, argv))
+        return 0;
+    std::uint64_t steps =
+        static_cast<std::uint64_t>(opts.integer("steps"));
+    std::uint64_t seed = static_cast<std::uint64_t>(opts.integer("seed"));
+    unsigned size_log2 =
+        static_cast<unsigned>(opts.integer("size-log2"));
+
+    const std::vector<std::string> kinds = {
+        "static-nottaken", "bimodal", "gag",   "gshare",    "local",
+        "comb",            "agree",   "yags",  "perceptron"};
+
+    std::cout << "E2: baseline mispredict rates on predicated code "
+              << "(2^" << size_log2 << " entries)\n\n";
+
+    std::vector<std::string> header = {"workload"};
+    header.insert(header.end(), kinds.begin(), kinds.end());
+    Table table(header);
+
+    std::vector<double> sums(kinds.size(), 0.0);
+    for (const std::string &name : workloadNames()) {
+        table.startRow();
+        table.cell(name);
+        for (std::size_t k = 0; k < kinds.size(); ++k) {
+            RunSpec spec;
+            spec.predictor = kinds[k];
+            spec.sizeLog2 = size_log2;
+            spec.maxInsts = steps;
+            spec.seed = seed;
+            EngineStats stats =
+                runTraceSpec(makeWorkload(name, seed), spec);
+            double rate = stats.all.mispredictRate();
+            sums[k] += rate;
+            table.percentCell(rate);
+        }
+    }
+    table.startRow();
+    table.cell(std::string("MEAN"));
+    for (double s : sums)
+        table.percentCell(s / static_cast<double>(workloadNames().size()));
+
+    emitTable(table, opts);
+    return 0;
+}

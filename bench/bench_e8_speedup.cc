@@ -1,0 +1,107 @@
+/**
+ * @file
+ * E8 - End-to-end speedup on the in-order EPIC pipeline: IPC for the
+ * branchy baseline and for predicated code under base gshare, each
+ * technique, and both; plus a mispredict-penalty sweep of the
+ * suite-mean speedup. The expected shape: technique speedup grows
+ * with the penalty, because all they do is remove mispredicts.
+ */
+
+#include "common.hh"
+
+using namespace pabp;
+using namespace pabp::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = standardOptions();
+    opts.declare("penalty", "8", "mispredict penalty (cycles)");
+    if (!opts.parse(argc, argv))
+        return 0;
+    std::uint64_t steps =
+        static_cast<std::uint64_t>(opts.integer("steps"));
+    std::uint64_t seed = static_cast<std::uint64_t>(opts.integer("seed"));
+    unsigned penalty = static_cast<unsigned>(opts.integer("penalty"));
+
+    std::cout << "E8: pipeline IPC and speedup (width=6, penalty="
+              << penalty << ")\n\n";
+
+    struct Config
+    {
+        const char *label;
+        bool ifConvert;
+        bool sfpf;
+        bool pgu;
+    };
+    const Config configs[] = {
+        {"branchy", false, false, false},
+        {"pred", true, false, false},
+        {"pred+SFPF", true, true, false},
+        {"pred+PGU", true, false, true},
+        {"pred+both", true, true, true},
+    };
+
+    PipelineConfig pcfg;
+    pcfg.mispredictPenalty = penalty;
+
+    Table table({"workload", "branchy", "pred", "pred+SFPF", "pred+PGU",
+                 "pred+both", "speedup(both/pred)"});
+    double ipc_sums[5] = {};
+    for (const std::string &name : workloadNames()) {
+        table.startRow();
+        table.cell(name);
+        double ipcs[5];
+        for (int c = 0; c < 5; ++c) {
+            RunSpec spec;
+            spec.ifConvert = configs[c].ifConvert;
+            spec.engine.useSfpf = configs[c].sfpf;
+            spec.engine.usePgu = configs[c].pgu;
+            spec.maxInsts = steps;
+            spec.seed = seed;
+            TimedResult result =
+                runTimedSpec(makeWorkload(name, seed), spec, pcfg);
+            ipcs[c] = result.pipe.ipc();
+            ipc_sums[c] += ipcs[c];
+            table.cell(ipcs[c], 3);
+        }
+        table.cell(ipcs[1] > 0.0 ? ipcs[4] / ipcs[1] : 0.0, 3);
+    }
+    table.startRow();
+    table.cell(std::string("MEAN"));
+    double n = static_cast<double>(workloadNames().size());
+    for (double s : ipc_sums)
+        table.cell(s / n, 3);
+    table.cell(ipc_sums[1] > 0.0 ? ipc_sums[4] / ipc_sums[1] : 0.0, 3);
+    emitTable(table, opts);
+
+    std::cout << "suite-mean speedup of pred+both over pred, by "
+                 "mispredict penalty:\n\n";
+    Table sweep({"penalty", "pred IPC", "pred+both IPC", "speedup"});
+    for (unsigned p : {4u, 8u, 12u, 16u, 24u}) {
+        PipelineConfig cfg;
+        cfg.mispredictPenalty = p;
+        double sum_base = 0.0, sum_both = 0.0;
+        for (const std::string &name : workloadNames()) {
+            RunSpec base;
+            base.maxInsts = steps;
+            base.seed = seed;
+            sum_base +=
+                runTimedSpec(makeWorkload(name, seed), base, cfg)
+                    .pipe.ipc();
+            RunSpec both = base;
+            both.engine.useSfpf = true;
+            both.engine.usePgu = true;
+            sum_both +=
+                runTimedSpec(makeWorkload(name, seed), both, cfg)
+                    .pipe.ipc();
+        }
+        sweep.startRow();
+        sweep.cell(std::uint64_t{p});
+        sweep.cell(sum_base / n, 3);
+        sweep.cell(sum_both / n, 3);
+        sweep.cell(sum_base > 0.0 ? sum_both / sum_base : 0.0, 3);
+    }
+    emitTable(sweep, opts);
+    return 0;
+}

@@ -1,0 +1,36 @@
+# Experiment binaries. Included from the top-level CMakeLists (not
+# add_subdirectory) so that build/bench holds ONLY the executables -
+# `for b in build/bench/*; do $b; done` is the supported way to
+# regenerate every result.
+
+set(BENCH_LIBS pabp_workloads pabp_pipeline pabp_core pabp_bpred
+    pabp_compiler pabp_sim pabp_isa pabp_mem pabp_util)
+
+function(pabp_bench name)
+    add_executable(${name} ${PROJECT_SOURCE_DIR}/bench/${name}.cc)
+    target_link_libraries(${name} PRIVATE ${BENCH_LIBS})
+    set_target_properties(${name} PROPERTIES
+        RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+pabp_bench(bench_e1_characterisation)
+pabp_bench(bench_e2_baselines)
+pabp_bench(bench_e3_sfpf_sizes)
+pabp_bench(bench_e4_squash_rates)
+pabp_bench(bench_e5_pgu_sizes)
+pabp_bench(bench_e6_combined)
+pabp_bench(bench_e7_region_branches)
+pabp_bench(bench_e8_speedup)
+pabp_bench(bench_e9_avail_delay)
+pabp_bench(bench_e10_ablation)
+pabp_bench(bench_e12_distance_histo)
+pabp_bench(bench_e13_compiler_ablation)
+pabp_bench(bench_e14_spec_squash)
+pabp_bench(bench_e15_bias_sweep)
+pabp_bench(bench_e16_pollution)
+pabp_bench(bench_e17_selective)
+pabp_bench(bench_e18_cross_input)
+pabp_bench(bench_e19_pgu_bases)
+
+pabp_bench(bench_e11_micro)
+target_link_libraries(bench_e11_micro PRIVATE benchmark::benchmark)

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared harness for the experiment binaries (E1-E10): compile a
+ * workload in either mode, drive it through a prediction engine (and
+ * optionally the pipeline), and collect the stats the tables print.
+ *
+ * Every binary accepts --steps, --seed and --csv; experiment-specific
+ * knobs are declared per binary.
+ */
+
+#ifndef PABP_BENCH_COMMON_HH
+#define PABP_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "bpred/factory.hh"
+#include "core/engine.hh"
+#include "pipeline/pipeline.hh"
+#include "sim/emulator.hh"
+#include "util/options.hh"
+#include "util/table.hh"
+#include "workloads/workload.hh"
+
+namespace pabp::bench {
+
+/** One experiment run specification. */
+struct RunSpec
+{
+    std::string predictor = "gshare";
+    unsigned sizeLog2 = 12;
+    bool ifConvert = true;
+    EngineConfig engine;
+    CompileOptions compile;
+    std::uint64_t maxInsts = 1'500'000;
+    std::uint64_t seed = 42;
+};
+
+/** Trace-driven run: returns the engine stats. */
+inline EngineStats
+runTraceSpec(Workload wl, const RunSpec &spec)
+{
+    CompileOptions copts = spec.compile;
+    copts.ifConvert = spec.ifConvert;
+    CompiledProgram cp = compileWorkload(wl, copts);
+
+    PredictorPtr pred = makePredictor(spec.predictor, spec.sizeLog2);
+    PredictionEngine engine(*pred, spec.engine);
+    Emulator emu(cp.prog);
+    if (wl.init)
+        wl.init(emu.state());
+    runTrace(emu, engine, spec.maxInsts);
+    return engine.stats();
+}
+
+/** Timing run: returns pipeline + engine stats. */
+struct TimedResult
+{
+    PipelineStats pipe;
+    EngineStats engine;
+};
+
+inline TimedResult
+runTimedSpec(Workload wl, const RunSpec &spec,
+             const PipelineConfig &pcfg)
+{
+    CompileOptions copts = spec.compile;
+    copts.ifConvert = spec.ifConvert;
+    CompiledProgram cp = compileWorkload(wl, copts);
+
+    PredictorPtr pred = makePredictor(spec.predictor, spec.sizeLog2);
+    PredictionEngine engine(*pred, spec.engine);
+    Pipeline pipe(engine, pcfg);
+    Emulator emu(cp.prog);
+    if (wl.init)
+        wl.init(emu.state());
+    TimedResult result;
+    result.pipe = pipe.run(emu, spec.maxInsts);
+    result.engine = engine.stats();
+    return result;
+}
+
+/** Standard option block shared by all experiment binaries. */
+inline Options
+standardOptions()
+{
+    Options opts;
+    opts.declare("steps", "1500000", "instructions per run");
+    opts.declare("seed", "42", "workload input seed");
+    opts.declare("csv", "0", "also print CSV");
+    return opts;
+}
+
+/** Print the table, optionally followed by CSV. */
+inline void
+emitTable(const Table &table, const Options &opts)
+{
+    table.print(std::cout);
+    if (opts.flag("csv")) {
+        std::cout << "\n-- csv --\n";
+        table.printCsv(std::cout);
+    }
+    std::cout << "\n";
+}
+
+} // namespace pabp::bench
+
+#endif // PABP_BENCH_COMMON_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Quickstart: build a tiny branchy program, if-convert it, and compare
+ * a plain gshare against gshare + the paper's two techniques.
+ *
+ * Run: ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "bpred/gshare.hh"
+#include "core/engine.hh"
+#include "sim/emulator.hh"
+#include "workloads/workload.hh"
+
+using namespace pabp;
+
+namespace {
+
+/** One measurement: compile mode x engine config -> mispredict rate. */
+EngineStats
+measure(Workload wl, bool if_convert, bool sfpf, bool pgu)
+{
+    CompileOptions copts;
+    copts.ifConvert = if_convert;
+    CompiledProgram compiled = compileWorkload(wl, copts);
+
+    GSharePredictor gshare(12);
+    EngineConfig ecfg;
+    ecfg.useSfpf = sfpf;
+    ecfg.usePgu = pgu;
+    PredictionEngine engine(gshare, ecfg);
+
+    Emulator emu(compiled.prog);
+    if (wl.init)
+        wl.init(emu.state());
+    runTrace(emu, engine, wl.defaultSteps);
+    return engine.stats();
+}
+
+void
+report(const char *label, const EngineStats &stats)
+{
+    std::printf("%-28s branches=%9llu  mispredict=%6.3f%%  "
+                "squashed=%llu\n",
+                label,
+                static_cast<unsigned long long>(stats.all.branches),
+                100.0 * stats.all.mispredictRate(),
+                static_cast<unsigned long long>(stats.all.squashed));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("predicate-aware branch prediction quickstart\n");
+    std::printf("workload: dchain (correlated diamond chain)\n\n");
+
+    std::uint64_t seed = 1234;
+    report("branchy baseline (gshare)",
+           measure(makeDchain(seed), false, false, false));
+    report("predicated, gshare",
+           measure(makeDchain(seed), true, false, false));
+    report("predicated, +SFPF",
+           measure(makeDchain(seed), true, true, false));
+    report("predicated, +PGU",
+           measure(makeDchain(seed), true, false, true));
+    report("predicated, +SFPF +PGU",
+           measure(makeDchain(seed), true, true, true));
+
+    std::printf("\nSFPF squashes false-path branches with certainty; "
+                "PGU restores the\ncorrelation that if-conversion "
+                "moved out of the branch history.\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A guided tour of hyperblock formation: builds the filter workload,
+ * shows the CFG with its profile, the selected regions, and the
+ * before/after disassembly - highlighting the region-based branches
+ * the paper studies and where their guard predicates are defined.
+ *
+ * Run: ./build/examples/region_branch_tour [workload-name]
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "compiler/compile.hh"
+#include "workloads/workload.hh"
+
+using namespace pabp;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "filter";
+    Workload wl = makeWorkload(name, 42);
+
+    std::printf("=== %s: control-flow graph ===\n\n", name.c_str());
+    profileFunction(wl.fn, wl.init, 200000);
+    std::cout << wl.fn.dump() << "\n";
+
+    HyperblockHeuristics heuristics;
+    RegionAssignment regions = selectRegions(wl.fn, heuristics);
+    std::printf("=== selected regions ===\n\n");
+    for (std::size_t r = 0; r < regions.regions.size(); ++r) {
+        std::printf("region %zu: blocks", r);
+        for (BlockId b : regions.regions[r].blocks)
+            std::printf(" bb%u", b);
+        std::printf(" (seed bb%u)\n", regions.regions[r].seed());
+    }
+
+    std::printf("\n=== branchy lowering ===\n\n");
+    CompiledProgram normal = lowerNormal(wl.fn);
+    std::cout << normal.prog.disassembleAll();
+
+    std::printf("\n=== if-converted lowering ===\n\n");
+    CompiledProgram conv = lowerIfConverted(wl.fn, regions);
+    std::cout << conv.prog.disassembleAll();
+
+    std::printf("\n=== summary ===\n");
+    std::printf("regions formed:         %zu\n", conv.info.numRegions);
+    std::printf("branches if-converted:  %zu\n",
+                conv.info.numIfConvertedBranches);
+    std::printf("region-based branches:  %zu (the '; region-based' "
+                "lines above)\n",
+                conv.info.numRegionBranches);
+    std::printf("\nNote how each region-based branch sits at the "
+                "bottom of its region\nwhile its guard predicate is "
+                "defined near the top - that distance is\nwhat the "
+                "squash false path filter exploits.\n");
+    return 0;
+}

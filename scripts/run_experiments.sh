@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerate every recorded result: build, test, run all experiments.
+# Outputs land in test_output.txt and bench_output.txt at the repo
+# root (the files EXPERIMENTS.md numbers are transcribed from).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt

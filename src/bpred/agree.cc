@@ -1,0 +1,79 @@
+#include "bpred/agree.hh"
+
+#include "util/logging.hh"
+
+namespace pabp {
+
+AgreePredictor::AgreePredictor(unsigned entries_log2, unsigned bias_log2)
+    : agreeTable(std::size_t{1} << entries_log2,
+                 SatCounter(2, 2)), // init weakly-agree
+      biasTable(std::size_t{1} << bias_log2),
+      entriesLog2(entries_log2), biasLog2(bias_log2)
+{
+    pabp_assert(entries_log2 >= 1 && entries_log2 <= 24);
+}
+
+std::size_t
+AgreePredictor::index(std::uint32_t pc) const
+{
+    std::uint64_t hist = ghr & ((std::uint64_t{1} << entriesLog2) - 1);
+    return (pc ^ hist) & (agreeTable.size() - 1);
+}
+
+AgreePredictor::Bias &
+AgreePredictor::biasFor(std::uint32_t pc)
+{
+    return biasTable[pc & (biasTable.size() - 1)];
+}
+
+bool
+AgreePredictor::predict(std::uint32_t pc)
+{
+    const Bias &bias = biasFor(pc);
+    bool bias_dir = bias.valid ? bias.bias : true;
+    bool agree = agreeTable[index(pc)].predictTaken();
+    return agree == bias_dir;
+}
+
+void
+AgreePredictor::update(std::uint32_t pc, bool taken)
+{
+    Bias &bias = biasFor(pc);
+    if (!bias.valid) {
+        // First-outcome bias setting, as in the original proposal.
+        bias.valid = true;
+        bias.bias = taken;
+    }
+    agreeTable[index(pc)].update(taken == bias.bias);
+    ghr = (ghr << 1) | (taken ? 1 : 0);
+}
+
+void
+AgreePredictor::injectHistoryBit(bool bit)
+{
+    ghr = (ghr << 1) | (bit ? 1 : 0);
+}
+
+void
+AgreePredictor::reset()
+{
+    for (auto &c : agreeTable)
+        c = SatCounter(2, 2);
+    for (auto &b : biasTable)
+        b = Bias{};
+    ghr = 0;
+}
+
+std::string
+AgreePredictor::name() const
+{
+    return "agree-" + std::to_string(agreeTable.size());
+}
+
+std::size_t
+AgreePredictor::storageBits() const
+{
+    return agreeTable.size() * 2 + biasTable.size() * 2 + entriesLog2;
+}
+
+} // namespace pabp

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Branch target buffer and return address stack. Direction prediction
+ * is the paper's subject; these two supply the targets so the pipeline
+ * model charges realistic penalties for taken branches it has no
+ * target for.
+ */
+
+#ifndef PABP_BPRED_BTB_HH
+#define PABP_BPRED_BTB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace pabp {
+
+/** Set-associative branch target buffer with LRU replacement. */
+class Btb
+{
+  public:
+    /**
+     * @param sets_log2 log2 of the number of sets.
+     * @param ways Associativity.
+     */
+    Btb(unsigned sets_log2, unsigned ways);
+
+    /** Predicted target for @p pc, if present. */
+    std::optional<std::uint32_t> lookup(std::uint32_t pc);
+
+    /** Install/refresh a branch's target. */
+    void update(std::uint32_t pc, std::uint32_t target);
+
+    void reset();
+    std::uint64_t hits() const { return hitCount; }
+    std::uint64_t misses() const { return missCount; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint32_t tag = 0;
+        std::uint32_t target = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::vector<Entry> entries;
+    unsigned setsLog2;
+    unsigned numWays;
+    std::uint64_t useClock = 0;
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
+
+    Entry *setBase(std::uint32_t pc);
+};
+
+/** Fixed-depth return address stack with wrap-around overwrite. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned depth);
+
+    void push(std::uint32_t return_pc);
+
+    /** Pop a prediction; empty stack returns nullopt. */
+    std::optional<std::uint32_t> pop();
+
+    void reset();
+    unsigned size() const { return count; }
+
+  private:
+    std::vector<std::uint32_t> stack;
+    unsigned top = 0;
+    unsigned count = 0;
+};
+
+} // namespace pabp
+
+#endif // PABP_BPRED_BTB_HH

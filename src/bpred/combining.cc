@@ -1,0 +1,69 @@
+#include "bpred/combining.hh"
+
+#include "util/logging.hh"
+
+namespace pabp {
+
+CombiningPredictor::CombiningPredictor(PredictorPtr first,
+                                       PredictorPtr second,
+                                       unsigned chooser_log2)
+    : firstPred(std::move(first)), secondPred(std::move(second)),
+      chooser(std::size_t{1} << chooser_log2, SatCounter(2))
+{
+    pabp_assert(firstPred && secondPred);
+}
+
+bool
+CombiningPredictor::predict(std::uint32_t pc)
+{
+    lastFirst = firstPred->predict(pc);
+    lastSecond = secondPred->predict(pc);
+    return chooser[index(pc)].predictTaken() ? lastSecond : lastFirst;
+}
+
+void
+CombiningPredictor::update(std::uint32_t pc, bool taken)
+{
+    // Train the chooser only when the components disagree.
+    if (lastFirst != lastSecond)
+        chooser[index(pc)].update(lastSecond == taken);
+    firstPred->update(pc, taken);
+    secondPred->update(pc, taken);
+}
+
+void
+CombiningPredictor::injectHistoryBit(bool bit)
+{
+    firstPred->injectHistoryBit(bit);
+    secondPred->injectHistoryBit(bit);
+}
+
+bool
+CombiningPredictor::hasGlobalHistory() const
+{
+    return firstPred->hasGlobalHistory() || secondPred->hasGlobalHistory();
+}
+
+void
+CombiningPredictor::reset()
+{
+    firstPred->reset();
+    secondPred->reset();
+    for (auto &c : chooser)
+        c = SatCounter(2);
+}
+
+std::string
+CombiningPredictor::name() const
+{
+    return "comb(" + firstPred->name() + "," + secondPred->name() + ")";
+}
+
+std::size_t
+CombiningPredictor::storageBits() const
+{
+    return firstPred->storageBits() + secondPred->storageBits() +
+        chooser.size() * 2;
+}
+
+} // namespace pabp

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * McFarling combining (tournament) predictor: two component
+ * predictors plus a PC-indexed chooser table.
+ */
+
+#ifndef PABP_BPRED_COMBINING_HH
+#define PABP_BPRED_COMBINING_HH
+
+#include <vector>
+
+#include "bpred/predictor.hh"
+#include "util/sat_counter.hh"
+
+namespace pabp {
+
+/** Tournament of two predictors with a 2-bit chooser per entry. */
+class CombiningPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param first Component selected when the chooser is low.
+     * @param second Component selected when the chooser is high.
+     * @param chooser_log2 log2 of the chooser table size.
+     */
+    CombiningPredictor(PredictorPtr first, PredictorPtr second,
+                       unsigned chooser_log2);
+
+    bool predict(std::uint32_t pc) override;
+    void update(std::uint32_t pc, bool taken) override;
+    void injectHistoryBit(bool bit) override;
+    bool hasGlobalHistory() const override;
+    void reset() override;
+    std::string name() const override;
+    std::size_t storageBits() const override;
+
+  private:
+    PredictorPtr firstPred;
+    PredictorPtr secondPred;
+    std::vector<SatCounter> chooser;
+
+    // The components are polled once at predict() and their answers
+    // reused at update(), keeping their predict/update pairing intact.
+    bool lastFirst = false;
+    bool lastSecond = false;
+
+    std::size_t index(std::uint32_t pc) const
+    {
+        return pc & (chooser.size() - 1);
+    }
+};
+
+} // namespace pabp
+
+#endif // PABP_BPRED_COMBINING_HH

@@ -1,0 +1,55 @@
+#include "bpred/factory.hh"
+
+#include <algorithm>
+
+#include "bpred/agree.hh"
+#include "bpred/combining.hh"
+#include "bpred/gshare.hh"
+#include "bpred/local.hh"
+#include "bpred/perceptron.hh"
+#include "bpred/simple.hh"
+#include "bpred/yags.hh"
+#include "util/logging.hh"
+
+namespace pabp {
+
+PredictorPtr
+makePredictor(const std::string &kind, unsigned entries_log2)
+{
+    if (kind == "static-taken")
+        return std::make_unique<StaticPredictor>(true);
+    if (kind == "static-nottaken")
+        return std::make_unique<StaticPredictor>(false);
+    if (kind == "bimodal")
+        return std::make_unique<BimodalPredictor>(entries_log2);
+    if (kind == "gshare")
+        return std::make_unique<GSharePredictor>(entries_log2);
+    if (kind == "gag")
+        return std::make_unique<GAgPredictor>(entries_log2);
+    if (kind == "local") {
+        unsigned local_bits = std::min(10u, entries_log2);
+        return std::make_unique<LocalPredictor>(entries_log2, local_bits,
+                                                entries_log2);
+    }
+    if (kind == "yags") {
+        unsigned cache = entries_log2 > 1 ? entries_log2 - 1 : 1;
+        return std::make_unique<YagsPredictor>(entries_log2, cache);
+    }
+    if (kind == "agree")
+        return std::make_unique<AgreePredictor>(entries_log2,
+                                                entries_log2);
+    if (kind == "perceptron") {
+        // Budget-match: rows sized so total bits track 2-bit tables.
+        unsigned rows = entries_log2 > 7 ? entries_log2 - 7 : 1;
+        return std::make_unique<PerceptronPredictor>(rows, 24);
+    }
+    if (kind == "comb") {
+        unsigned half = entries_log2 > 1 ? entries_log2 - 1 : 1;
+        return std::make_unique<CombiningPredictor>(
+            std::make_unique<BimodalPredictor>(half),
+            std::make_unique<GSharePredictor>(half), half);
+    }
+    pabp_fatal("unknown predictor kind: " + kind);
+}
+
+} // namespace pabp

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Predictor construction from (kind, size) specs, shared by benches,
+ * examples and tests.
+ */
+
+#ifndef PABP_BPRED_FACTORY_HH
+#define PABP_BPRED_FACTORY_HH
+
+#include <string>
+
+#include "bpred/predictor.hh"
+
+namespace pabp {
+
+/**
+ * Build a predictor.
+ *
+ * Recognised kinds:
+ *  - "static-taken", "static-nottaken" (entries_log2 ignored)
+ *  - "bimodal"  - 2^entries_log2 two-bit counters
+ *  - "gshare"   - 2^entries_log2 counters, history = entries_log2
+ *  - "gag"      - history/table of entries_log2 bits
+ *  - "local"    - BHT/PHT of 2^entries_log2 each, 10-bit local history
+ *  - "agree"    - gshare-indexed agree with bias bits
+ *  - "yags"     - bimodal choice + tagged exception caches
+ *  - "perceptron" - 24-bit-history perceptron, budget-matched rows
+ *  - "comb"     - McFarling bimodal+gshare, each 2^(entries_log2-1)
+ *
+ * Fatal on an unknown kind.
+ */
+PredictorPtr makePredictor(const std::string &kind, unsigned entries_log2);
+
+} // namespace pabp
+
+#endif // PABP_BPRED_FACTORY_HH

@@ -1,0 +1,130 @@
+#include "bpred/gshare.hh"
+
+#include "util/logging.hh"
+
+namespace pabp {
+
+GSharePredictor::GSharePredictor(unsigned entries_log2,
+                                 unsigned history_bits,
+                                 unsigned counter_bits)
+    : table(std::size_t{1} << entries_log2, SatCounter(counter_bits)),
+      entriesLog2(entries_log2),
+      histBits(history_bits ? history_bits : entries_log2),
+      counterBits(counter_bits)
+{
+    pabp_assert(entries_log2 >= 1 && entries_log2 <= 24);
+    pabp_assert(histBits >= 1 && histBits <= 63);
+}
+
+std::size_t
+GSharePredictor::index(std::uint32_t pc) const
+{
+    std::uint64_t hist = ghr & ((std::uint64_t{1} << histBits) - 1);
+    return (pc ^ hist) & (table.size() - 1);
+}
+
+void
+GSharePredictor::enableConflictProfiling()
+{
+    profiling = true;
+    lastPc.assign(table.size(), 0);
+    lastPcValid.assign(table.size(), false);
+    lookups = 0;
+    conflicts = 0;
+}
+
+bool
+GSharePredictor::predict(std::uint32_t pc)
+{
+    std::size_t idx = index(pc);
+    if (profiling) {
+        ++lookups;
+        if (lastPcValid[idx] && lastPc[idx] != pc)
+            ++conflicts;
+        lastPc[idx] = pc;
+        lastPcValid[idx] = true;
+    }
+    return table[idx].predictTaken();
+}
+
+void
+GSharePredictor::update(std::uint32_t pc, bool taken)
+{
+    table[index(pc)].update(taken);
+    ghr = (ghr << 1) | (taken ? 1 : 0);
+}
+
+void
+GSharePredictor::injectHistoryBit(bool bit)
+{
+    ghr = (ghr << 1) | (bit ? 1 : 0);
+}
+
+void
+GSharePredictor::reset()
+{
+    for (auto &c : table)
+        c = SatCounter(counterBits);
+    ghr = 0;
+}
+
+std::string
+GSharePredictor::name() const
+{
+    return "gshare-" + std::to_string(table.size()) + "x" +
+        std::to_string(histBits) + "h";
+}
+
+std::size_t
+GSharePredictor::storageBits() const
+{
+    return table.size() * counterBits + histBits;
+}
+
+GAgPredictor::GAgPredictor(unsigned history_bits, unsigned counter_bits)
+    : table(std::size_t{1} << history_bits, SatCounter(counter_bits)),
+      histBits(history_bits), counterBits(counter_bits)
+{
+    pabp_assert(history_bits >= 1 && history_bits <= 24);
+}
+
+bool
+GAgPredictor::predict(std::uint32_t)
+{
+    return table[ghr & (table.size() - 1)].predictTaken();
+}
+
+void
+GAgPredictor::update(std::uint32_t, bool taken)
+{
+    table[ghr & (table.size() - 1)].update(taken);
+    ghr = (ghr << 1) | (taken ? 1 : 0);
+}
+
+void
+GAgPredictor::injectHistoryBit(bool bit)
+{
+    ghr = (ghr << 1) | (bit ? 1 : 0);
+}
+
+void
+GAgPredictor::reset()
+{
+    for (auto &c : table)
+        c = SatCounter(counterBits);
+    ghr = 0;
+}
+
+std::string
+GAgPredictor::name() const
+{
+    return "gag-" + std::to_string(histBits) + "h";
+}
+
+std::size_t
+GAgPredictor::storageBits() const
+{
+    return table.size() * counterBits + histBits;
+}
+
+} // namespace pabp

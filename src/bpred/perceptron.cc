@@ -1,0 +1,100 @@
+#include "bpred/perceptron.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pabp {
+
+PerceptronPredictor::PerceptronPredictor(unsigned rows_log2,
+                                         unsigned history_bits,
+                                         unsigned weight_bits)
+    : rowsLog2(rows_log2), histBits(history_bits),
+      weightMax((1 << (weight_bits - 1)) - 1),
+      // Optimal training threshold from the paper: 1.93h + 14.
+      threshold(static_cast<int>(1.93 * history_bits + 14)),
+      weights((std::size_t{1} << rows_log2) * (history_bits + 1), 0)
+{
+    pabp_assert(history_bits >= 1 && history_bits <= 63);
+    pabp_assert(weight_bits >= 2 && weight_bits <= 16);
+}
+
+void
+PerceptronPredictor::saturatingAdjust(std::int16_t &w, bool up)
+{
+    if (up) {
+        if (w < weightMax)
+            ++w;
+    } else {
+        if (w > -weightMax - 1)
+            --w;
+    }
+}
+
+bool
+PerceptronPredictor::predict(std::uint32_t pc)
+{
+    lastRow = pc & ((std::size_t{1} << rowsLog2) - 1);
+    lastHistory = ghr;
+    const std::int16_t *w = row(lastRow);
+    std::int32_t output = w[0]; // bias weight
+    for (unsigned i = 0; i < histBits; ++i) {
+        bool bit = (lastHistory >> i) & 1;
+        output += bit ? w[i + 1] : -w[i + 1];
+    }
+    lastOutput = output;
+    return output >= 0;
+}
+
+void
+PerceptronPredictor::update(std::uint32_t pc, bool taken)
+{
+    (void)pc; // trained at the row/history latched by predict()
+    bool predicted = lastOutput >= 0;
+    if (predicted != taken || std::abs(lastOutput) <= threshold) {
+        std::int16_t *w = row(lastRow);
+        saturatingAdjust(w[0], taken);
+        for (unsigned i = 0; i < histBits; ++i) {
+            bool bit = (lastHistory >> i) & 1;
+            saturatingAdjust(w[i + 1], bit == taken);
+        }
+    }
+    ghr = (ghr << 1) | (taken ? 1 : 0);
+}
+
+void
+PerceptronPredictor::injectHistoryBit(bool bit)
+{
+    ghr = (ghr << 1) | (bit ? 1 : 0);
+}
+
+void
+PerceptronPredictor::reset()
+{
+    std::fill(weights.begin(), weights.end(), 0);
+    ghr = 0;
+    lastOutput = 0;
+    lastHistory = 0;
+    lastRow = 0;
+}
+
+std::string
+PerceptronPredictor::name() const
+{
+    return "perceptron-" +
+        std::to_string(std::size_t{1} << rowsLog2) + "x" +
+        std::to_string(histBits) + "h";
+}
+
+std::size_t
+PerceptronPredictor::storageBits() const
+{
+    // 16-bit storage is an implementation detail; architected cost is
+    // weight_bits per weight. weightMax encodes the width.
+    unsigned weight_bits = 1;
+    while ((1 << (weight_bits - 1)) - 1 < weightMax)
+        ++weight_bits;
+    return weights.size() * weight_bits + histBits;
+}
+
+} // namespace pabp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Branch direction predictor interface.
+ *
+ * Predictors are driven trace-style: predict(pc) followed by
+ * update(pc, taken) for every predicted branch, in program order.
+ * Because the harnesses never fetch down a wrong path, speculative
+ * history update with repair and commit-time history update coincide;
+ * predictors therefore keep their history registers internally and
+ * update them with the actual outcome (see DESIGN.md).
+ *
+ * The predicate global update technique needs to push non-branch bits
+ * into a predictor's global history; predictors that maintain a global
+ * history implement injectHistoryBit().
+ */
+
+#ifndef PABP_BPRED_PREDICTOR_HH
+#define PABP_BPRED_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace pabp {
+
+/** Abstract direction predictor. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predicted direction for the branch at @p pc. */
+    virtual bool predict(std::uint32_t pc) = 0;
+
+    /** Train with the resolved outcome. Must follow the predict()
+     *  for the same dynamic branch, with no predictions between. */
+    virtual void update(std::uint32_t pc, bool taken) = 0;
+
+    /**
+     * Shift a non-branch bit (a predicate define outcome) into the
+     * global history, if this predictor has one. The default is a
+     * no-op so the PGU wrapper can be applied to any predictor.
+     */
+    virtual void injectHistoryBit(bool bit) { (void)bit; }
+
+    /** True when injectHistoryBit() actually does something. */
+    virtual bool hasGlobalHistory() const { return false; }
+
+    /** Forget all state. */
+    virtual void reset() = 0;
+
+    /** Human-readable name, e.g. "gshare-4K". */
+    virtual std::string name() const = 0;
+
+    /** Hardware budget in bits (counters + histories). */
+    virtual std::size_t storageBits() const = 0;
+};
+
+using PredictorPtr = std::unique_ptr<BranchPredictor>;
+
+} // namespace pabp
+
+#endif // PABP_BPRED_PREDICTOR_HH

@@ -1,0 +1,20 @@
+#include "compiler/compile.hh"
+
+namespace pabp {
+
+CompiledProgram
+compileFunction(IrFunction &fn, const StateInit &init,
+                const CompileOptions &options)
+{
+    if (options.simplifyCfg)
+        simplifyFunction(fn);
+
+    if (!options.ifConvert)
+        return lowerNormal(fn);
+
+    profileFunction(fn, init, options.profileSteps);
+    RegionAssignment regions = selectRegions(fn, options.heuristics);
+    return lowerIfConverted(fn, regions, options.lowering);
+}
+
+} // namespace pabp

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Top-level compile pipeline: profile -> select regions -> lower.
+ */
+
+#ifndef PABP_COMPILER_COMPILE_HH
+#define PABP_COMPILER_COMPILE_HH
+
+#include "compiler/lower.hh"
+#include "compiler/profile.hh"
+#include "compiler/regions.hh"
+#include "compiler/simplify.hh"
+
+namespace pabp {
+
+/** Pipeline configuration. */
+struct CompileOptions
+{
+    /** Form hyperblocks; false compiles branchy baseline code. */
+    bool ifConvert = true;
+    /** Run CFG simplification (jump threading, merging, dead-block
+     *  removal) before profiling/region formation. Off by default so
+     *  workload shapes stay exactly as authored. */
+    bool simplifyCfg = false;
+    HyperblockHeuristics heuristics;
+    LoweringOptions lowering;
+    /** Profiling execution budget. */
+    std::uint64_t profileSteps = 200000;
+};
+
+/**
+ * Compile a function. When if-converting, the function is first
+ * profiled by direct execution with @p init (the training input -
+ * same-input training is the common methodology and is fine here
+ * because region formation only consumes coarse block weights).
+ */
+CompiledProgram compileFunction(IrFunction &fn, const StateInit &init,
+                                const CompileOptions &options);
+
+} // namespace pabp
+
+#endif // PABP_COMPILER_COMPILE_HH

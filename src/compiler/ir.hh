@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Control-flow-graph IR that workloads are written in and that the
+ * if-converter consumes.
+ *
+ * A function is a vector of basic blocks; block 0 is the entry. Block
+ * bodies are straight-line, unguarded, non-control ISA instructions;
+ * control lives exclusively in the block terminator. Conditional
+ * branches carry their comparison inline (relation + operands), which
+ * is what lets the lowerer choose between a compare+branch pair
+ * (normal code) and a predicate define (if-converted code).
+ */
+
+#ifndef PABP_COMPILER_IR_HH
+#define PABP_COMPILER_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace pabp {
+
+using BlockId = std::uint32_t;
+
+/** Sentinel for "no block". */
+constexpr BlockId invalidBlock = 0xffffffffu;
+
+/** Block terminator. */
+struct Terminator
+{
+    enum class Kind : std::uint8_t
+    {
+        Jump,       ///< unconditional transfer to takenTarget
+        CondBranch, ///< rel(src1, src2/imm) ? takenTarget : fallTarget
+        Halt,       ///< end of program
+    };
+
+    Kind kind = Kind::Halt;
+
+    CmpRel rel = CmpRel::Eq;
+    std::uint8_t src1 = 0;
+    std::uint8_t src2 = 0;
+    bool hasImm = false;
+    std::int64_t imm = 0;
+
+    BlockId takenTarget = invalidBlock;
+    BlockId fallTarget = invalidBlock;
+};
+
+/** A basic block: straight-line body plus terminator plus profile. */
+struct BasicBlock
+{
+    std::vector<Inst> body;
+    Terminator term;
+
+    /** @name Edge profile, filled by the profiler.
+     *  @{ */
+    std::uint64_t execCount = 0;
+    std::uint64_t takenCount = 0;
+    /** Mispredicts of this block's CondBranch under the profiler's
+     *  reference predictor (for selective if-conversion). */
+    std::uint64_t profMispredicts = 0;
+    /** @} */
+};
+
+/** A single-function program in CFG form. */
+struct IrFunction
+{
+    std::string name;
+    std::vector<BasicBlock> blocks;
+
+    BasicBlock &block(BlockId id) { return blocks.at(id); }
+    const BasicBlock &block(BlockId id) const { return blocks.at(id); }
+
+    /** Successor block ids of a block (0, 1 or 2 entries). */
+    std::vector<BlockId> successors(BlockId id) const;
+
+    /** Predecessor ids of every block, indexed by block id. */
+    std::vector<std::vector<BlockId>> predecessorLists() const;
+
+    /** Human-readable dump of the CFG. */
+    std::string dump() const;
+};
+
+/**
+ * Verify IR well-formedness: entry exists, targets valid, bodies are
+ * non-control and unguarded, CondBranch has two distinct roles filled.
+ * Returns "" when valid, else the first problem found.
+ */
+std::string verifyFunction(const IrFunction &fn);
+
+/**
+ * Convenience builder used by workloads, tests and examples.
+ * Typical use:
+ * @code
+ *   IrFunction fn; IrBuilder b(fn);
+ *   BlockId head = b.newBlock(), thenB = b.newBlock(), ...
+ *   b.setBlock(head);
+ *   b.append(makeMovImm(1, 42));
+ *   b.condBrImm(CmpRel::Lt, 1, 10, thenB, elseB);
+ * @endcode
+ */
+class IrBuilder
+{
+  public:
+    explicit IrBuilder(IrFunction &fn) : func(fn) {}
+
+    /** Create a new empty block and return its id. */
+    BlockId newBlock();
+
+    /** Select the block subsequent appends modify. */
+    void setBlock(BlockId id);
+
+    /** Append a body instruction to the current block. */
+    void append(const Inst &inst);
+
+    /** Terminate the current block with an unconditional jump. */
+    void jump(BlockId target);
+
+    /** Terminate with a register-register conditional branch. */
+    void condBr(CmpRel rel, unsigned src1, unsigned src2, BlockId taken,
+                BlockId fall);
+
+    /** Terminate with a register-immediate conditional branch. */
+    void condBrImm(CmpRel rel, unsigned src1, std::int64_t imm,
+                   BlockId taken, BlockId fall);
+
+    /** Terminate with halt. */
+    void halt();
+
+    BlockId currentBlock() const { return current; }
+
+  private:
+    IrFunction &func;
+    BlockId current = invalidBlock;
+};
+
+} // namespace pabp
+
+#endif // PABP_COMPILER_IR_HH

@@ -1,0 +1,398 @@
+#include "compiler/lower.hh"
+
+#include <algorithm>
+
+#include "compiler/pred_verify.hh"
+#include "util/logging.hh"
+
+namespace pabp {
+
+namespace {
+
+/** First predicate register of the per-region allocation pool. */
+constexpr unsigned regionPredBase = 1;
+/** Predicates regionPredBase..regionPredLimit-1 belong to regions.
+ *  Worst case is (maxBlocks - 1) block predicates plus two exit-edge
+ *  predicates per block: 47 for the 16-block ceiling. */
+constexpr unsigned regionPredLimit = 48;
+/** Normal compare/branch pairs rotate through p48..p61. */
+constexpr unsigned scratchPredBase = 48;
+constexpr unsigned scratchPairCount = 7;
+
+/** Exit-edge identity used to find the final (unconditional) exit. */
+struct ExitEdge
+{
+    BlockId from;
+    enum class Kind : std::uint8_t { Jump, CondTaken, CondFall } kind;
+    BlockId target;
+
+    bool operator==(const ExitEdge &) const = default;
+};
+
+class Lowerer
+{
+  public:
+    Lowerer(const IrFunction &function,
+            const RegionAssignment *assignment,
+            LoweringOptions lowering_options = LoweringOptions{})
+        : fn(function), regions(assignment), lopts(lowering_options)
+    {}
+
+    CompiledProgram run();
+
+  private:
+    const IrFunction &fn;
+    const RegionAssignment *regions;
+    LoweringOptions lopts;
+    Program prog;
+    LoweredInfo info;
+    std::vector<std::pair<std::size_t, BlockId>> fixups;
+    unsigned scratchPair = 0;
+
+    bool emitsCode(BlockId b) const;
+    BlockId nextEmittedAfter(BlockId b) const;
+
+    void emit(Inst inst, std::int32_t region_id = -1);
+    void emitBranchTo(Inst inst, BlockId target, std::int32_t region_id,
+                      bool region_branch);
+
+    std::pair<unsigned, unsigned> allocScratchPair();
+
+    void lowerNormalBlock(BlockId b);
+    void lowerRegion(const Region &region, std::int32_t region_id);
+};
+
+bool
+Lowerer::emitsCode(BlockId b) const
+{
+    if (!regions || !regions->inRegion(b))
+        return true;
+    const Region &r = regions->regions[regions->blockRegion[b]];
+    return r.seed() == b;
+}
+
+BlockId
+Lowerer::nextEmittedAfter(BlockId b) const
+{
+    for (BlockId n = b + 1; n < fn.blocks.size(); ++n)
+        if (emitsCode(n))
+            return n;
+    return invalidBlock;
+}
+
+void
+Lowerer::emit(Inst inst, std::int32_t region_id)
+{
+    inst.regionId = region_id;
+    prog.insts.push_back(inst);
+}
+
+void
+Lowerer::emitBranchTo(Inst inst, BlockId target, std::int32_t region_id,
+                      bool region_branch)
+{
+    inst.regionId = region_id;
+    inst.regionBranch = region_branch;
+    if (region_branch)
+        ++info.numRegionBranches;
+    fixups.emplace_back(prog.insts.size(), target);
+    prog.insts.push_back(inst);
+}
+
+std::pair<unsigned, unsigned>
+Lowerer::allocScratchPair()
+{
+    unsigned base = scratchPredBase + 2 * scratchPair;
+    scratchPair = (scratchPair + 1) % scratchPairCount;
+    return {base, base + 1};
+}
+
+void
+Lowerer::lowerNormalBlock(BlockId b)
+{
+    const BasicBlock &bb = fn.block(b);
+    for (const Inst &op : bb.body)
+        emit(op);
+
+    const Terminator &t = bb.term;
+    switch (t.kind) {
+      case Terminator::Kind::Halt:
+        emit(makeHalt());
+        break;
+      case Terminator::Kind::Jump:
+        emitBranchTo(makeBr(0), t.takenTarget, -1, false);
+        break;
+      case Terminator::Kind::CondBranch: {
+        auto [p_taken, p_fall] = allocScratchPair();
+        Inst cmp = t.hasImm
+            ? makeCmpImm(t.rel, CmpType::Unc, p_taken, p_fall, t.src1,
+                         t.imm)
+            : makeCmp(t.rel, CmpType::Unc, p_taken, p_fall, t.src1,
+                      t.src2);
+        emit(cmp);
+        info.branchPcToBlock[static_cast<std::uint32_t>(prog.size())] = b;
+        emitBranchTo(makeBr(0, p_taken), t.takenTarget, -1, false);
+        if (t.fallTarget != nextEmittedAfter(b))
+            emitBranchTo(makeBr(0), t.fallTarget, -1, false);
+        break;
+      }
+    }
+}
+
+void
+Lowerer::lowerRegion(const Region &region, std::int32_t region_id)
+{
+    std::vector<bool> in_region(fn.blocks.size(), false);
+    for (BlockId b : region.blocks)
+        in_region[b] = true;
+
+    // In-region in-edge counts decide unc vs or-accumulated predicates.
+    std::vector<unsigned> in_edges(fn.blocks.size(), 0);
+    std::vector<ExitEdge> exits;
+    for (BlockId b : region.blocks) {
+        const Terminator &t = fn.block(b).term;
+        if (t.kind == Terminator::Kind::Jump) {
+            if (in_region[t.takenTarget])
+                ++in_edges[t.takenTarget];
+            else
+                exits.push_back({b, ExitEdge::Kind::Jump, t.takenTarget});
+        } else if (t.kind == Terminator::Kind::CondBranch) {
+            if (in_region[t.takenTarget])
+                ++in_edges[t.takenTarget];
+            else
+                exits.push_back(
+                    {b, ExitEdge::Kind::CondTaken, t.takenTarget});
+            if (in_region[t.fallTarget])
+                ++in_edges[t.fallTarget];
+            else
+                exits.push_back(
+                    {b, ExitEdge::Kind::CondFall, t.fallTarget});
+        } else {
+            pabp_panic("halt block inside region");
+        }
+    }
+    pabp_assert(!exits.empty());
+    const ExitEdge final_exit = exits.back();
+
+    unsigned next_pred = regionPredBase;
+    auto alloc_pred = [&]() -> unsigned {
+        pabp_assert(next_pred < regionPredLimit);
+        return next_pred++;
+    };
+
+    // Exit branches are sunk to the bottom of the hyperblock. Any
+    // instruction between an exit's original position and the region
+    // bottom lies on a path excluded by that exit, so its guard is
+    // false whenever the exit should fire - executing it is a no-op.
+    // Sinking maximises the define-to-branch distance, exactly the
+    // property the squash false path filter depends on, and mirrors
+    // real hyperblocks where a dynamic execution fetches every side
+    // exit of the region.
+    struct PendingExit
+    {
+        unsigned qp;       // 0 for the final, unconditional exit
+        BlockId target;
+        bool final = false;
+    };
+    std::vector<PendingExit> pending_exits;
+
+    // In the sink ablation (sinkExits = false) exits are emitted in
+    // place, adjacent to their edge compares; the final-exit argument
+    // (its predicate is true whenever control reaches it) holds in
+    // both layouts because off-path code between exits is inert.
+    auto queue_exit = [&](const PendingExit &exit) {
+        if (lopts.sinkExits) {
+            pending_exits.push_back(exit);
+        } else {
+            emitBranchTo(makeBr(0, exit.qp), exit.target, region_id,
+                         !exit.final);
+        }
+    };
+
+    std::vector<unsigned> block_pred(fn.blocks.size(), 0);
+    for (std::size_t i = 1; i < region.blocks.size(); ++i)
+        block_pred[region.blocks[i]] = alloc_pred();
+
+    // Or-accumulated (merge) predicates must start false.
+    for (std::size_t i = 1; i < region.blocks.size(); ++i) {
+        BlockId m = region.blocks[i];
+        if (in_edges[m] > 1)
+            emit(makePSet(block_pred[m], false), region_id);
+    }
+
+    auto make_cond_cmp = [&](const Terminator &t, CmpRel rel, CmpType type,
+                             unsigned p1, unsigned p2, unsigned qp) {
+        Inst cmp = t.hasImm
+            ? makeCmpImm(rel, type, p1, p2, t.src1, t.imm, qp)
+            : makeCmp(rel, type, p1, p2, t.src1, t.src2, qp);
+        return cmp;
+    };
+
+    for (BlockId b : region.blocks) {
+        unsigned qp = block_pred[b];
+        const BasicBlock &bb = fn.block(b);
+        for (Inst op : bb.body) {
+            op.qp = static_cast<std::uint8_t>(qp);
+            emit(op, region_id);
+        }
+
+        const Terminator &t = bb.term;
+        if (t.kind == Terminator::Kind::Jump) {
+            BlockId target = t.takenTarget;
+            if (in_region[target]) {
+                if (in_edges[target] == 1) {
+                    // p_target = p_b, computed as (p_b) cmp.eq.unc.
+                    emit(makeCmp(CmpRel::Eq, CmpType::Unc,
+                                 block_pred[target], 0, 0, 0, qp),
+                         region_id);
+                } else {
+                    emit(makePSet(block_pred[target], true, qp),
+                         region_id);
+                }
+            } else {
+                ExitEdge edge{b, ExitEdge::Kind::Jump, target};
+                if (edge == final_exit) {
+                    queue_exit({0, target, true});
+                } else if (target != final_exit.target) {
+                    // Exits sharing the final exit's target are
+                    // redundant: falling through the (then inert)
+                    // region tail reaches the same place.
+                    queue_exit({qp, target, false});
+                }
+            }
+            continue;
+        }
+
+        pabp_assert(t.kind == Terminator::Kind::CondBranch);
+        ++info.numIfConvertedBranches;
+        bool in_taken = in_region[t.takenTarget];
+        bool in_fall = in_region[t.fallTarget];
+
+        if (in_taken && in_fall && in_edges[t.takenTarget] == 1 &&
+            in_edges[t.fallTarget] == 1) {
+            emit(make_cond_cmp(t, t.rel, CmpType::Unc,
+                               block_pred[t.takenTarget],
+                               block_pred[t.fallTarget], qp),
+                 region_id);
+        } else {
+            if (in_taken) {
+                CmpType type = in_edges[t.takenTarget] == 1 ? CmpType::Unc
+                                                            : CmpType::Or;
+                emit(make_cond_cmp(t, t.rel, type,
+                                   block_pred[t.takenTarget], 0, qp),
+                     region_id);
+            }
+            if (in_fall) {
+                CmpType type = in_edges[t.fallTarget] == 1 ? CmpType::Unc
+                                                           : CmpType::Or;
+                emit(make_cond_cmp(t, invertRel(t.rel), type,
+                                   block_pred[t.fallTarget], 0, qp),
+                     region_id);
+            }
+        }
+
+        if (!in_taken) {
+            ExitEdge edge{b, ExitEdge::Kind::CondTaken, t.takenTarget};
+            if (edge == final_exit) {
+                queue_exit({0, t.takenTarget, true});
+            } else if (t.takenTarget == final_exit.target) {
+                // redundant: same destination as the final exit
+            } else {
+                unsigned p_edge = alloc_pred();
+                emit(make_cond_cmp(t, t.rel, CmpType::Unc, p_edge, 0, qp),
+                     region_id);
+                queue_exit({p_edge, t.takenTarget, false});
+            }
+        }
+        if (!in_fall) {
+            ExitEdge edge{b, ExitEdge::Kind::CondFall, t.fallTarget};
+            if (edge == final_exit) {
+                queue_exit({0, t.fallTarget, true});
+            } else if (t.fallTarget == final_exit.target) {
+                // redundant: same destination as the final exit
+            } else {
+                unsigned p_edge = alloc_pred();
+                emit(make_cond_cmp(t, invertRel(t.rel), CmpType::Unc,
+                                   p_edge, 0, qp),
+                     region_id);
+                queue_exit({p_edge, t.fallTarget, false});
+            }
+        }
+    }
+
+    if (lopts.sinkExits) {
+        pabp_assert(!pending_exits.empty());
+        pabp_assert(pending_exits.back().final);
+        for (const PendingExit &exit : pending_exits) {
+            emitBranchTo(makeBr(0, exit.qp), exit.target, region_id,
+                         !exit.final);
+        }
+    }
+}
+
+CompiledProgram
+Lowerer::run()
+{
+    pabp_assert(verifyFunction(fn).empty());
+    prog.name = fn.name;
+    info.blockStartPc.assign(fn.blocks.size(), 0);
+    if (regions)
+        info.numRegions = regions->regions.size();
+
+    for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+        if (!emitsCode(b))
+            continue;
+        info.blockStartPc[b] = static_cast<std::uint32_t>(prog.size());
+        if (regions && regions->inRegion(b)) {
+            std::int32_t rid = regions->blockRegion[b];
+            lowerRegion(regions->regions[rid], rid);
+        } else {
+            lowerNormalBlock(b);
+        }
+    }
+
+    // Non-seed region members resolve to their region's start; nothing
+    // targets them, but keep the table total.
+    if (regions) {
+        for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+            if (!emitsCode(b)) {
+                const Region &r =
+                    regions->regions[regions->blockRegion[b]];
+                info.blockStartPc[b] = info.blockStartPc[r.seed()];
+            }
+        }
+    }
+
+    for (auto [idx, target] : fixups)
+        prog.insts[idx].target = info.blockStartPc[target];
+
+    std::string problem = validateProgram(prog);
+    if (!problem.empty())
+        pabp_panic("lowering produced invalid program: " + problem);
+    if (regions) {
+        problem = verifyPredicatedProgram(prog);
+        if (!problem.empty())
+            pabp_panic("predication contract violated: " + problem);
+    }
+
+    return CompiledProgram{std::move(prog), std::move(info)};
+}
+
+} // anonymous namespace
+
+CompiledProgram
+lowerNormal(const IrFunction &fn)
+{
+    Lowerer lowerer(fn, nullptr);
+    return lowerer.run();
+}
+
+CompiledProgram
+lowerIfConverted(const IrFunction &fn, const RegionAssignment &regions,
+                 const LoweringOptions &lopts)
+{
+    Lowerer lowerer(fn, &regions, lopts);
+    return lowerer.run();
+}
+
+} // namespace pabp

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Code generation from CFG IR to the predicated ISA, in two modes:
+ *
+ * Normal lowering: each conditional branch becomes an unconditional
+ * compare writing a predicate pair followed by a guarded branch -
+ * IA-64 style "(pT) br target". The compare sits right next to its
+ * branch, so the guard is essentially never resolved by fetch time.
+ *
+ * If-converted lowering: selected regions (see regions.hh) are
+ * flattened into hyperblocks. Block predicates are materialised with
+ * unconditional compares (single in-edge) or or-type compare
+ * accumulation over pset-initialised predicates (merge points).
+ * Edges leaving a region remain as guarded branches - these are the
+ * paper's region-based branches - except the final exit, which is
+ * emitted unconditionally (its edge predicate is true whenever
+ * control reaches it, because region exit-edge predicates partition).
+ */
+
+#ifndef PABP_COMPILER_LOWER_HH
+#define PABP_COMPILER_LOWER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/ir.hh"
+#include "compiler/regions.hh"
+#include "isa/program.hh"
+
+namespace pabp {
+
+/** Byproducts of lowering used by the profiler and the harnesses. */
+struct LoweredInfo
+{
+    /** Start PC of each IR block. Non-seed region members map to
+     *  their region's start (nothing ever targets them directly). */
+    std::vector<std::uint32_t> blockStartPc;
+
+    /** For normal lowering: PC of the guarded branch that implements
+     *  each CondBranch terminator, keyed by source block. */
+    std::unordered_map<std::uint32_t, BlockId> branchPcToBlock;
+
+    std::size_t numRegions = 0;
+    std::size_t numRegionBranches = 0; ///< static side-exit branches
+    std::size_t numIfConvertedBranches = 0;
+};
+
+/** A lowered program plus its metadata. */
+struct CompiledProgram
+{
+    Program prog;
+    LoweredInfo info;
+};
+
+/** Codegen knobs for if-converted lowering. */
+struct LoweringOptions
+{
+    /**
+     * Sink region exit branches to the hyperblock bottom (the
+     * default, and what real hyperblock schedulers approximate by
+     * hoisting compares). Disabling leaves each exit adjacent to its
+     * edge compare - an ablation that starves the squash filter of
+     * define-to-branch distance (bench E13).
+     */
+    bool sinkExits = true;
+};
+
+/** Lower without if-conversion. */
+CompiledProgram lowerNormal(const IrFunction &fn);
+
+/**
+ * Lower with if-conversion over the given region assignment (obtain
+ * one from selectRegions() after profiling).
+ */
+CompiledProgram lowerIfConverted(const IrFunction &fn,
+                                 const RegionAssignment &regions,
+                                 const LoweringOptions &lopts =
+                                     LoweringOptions{});
+
+} // namespace pabp
+
+#endif // PABP_COMPILER_LOWER_HH

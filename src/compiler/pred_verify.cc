@@ -1,0 +1,128 @@
+#include "compiler/pred_verify.hh"
+
+#include <set>
+#include <vector>
+
+namespace pabp {
+
+namespace {
+
+std::string
+violation(std::size_t pc, const Inst &inst, const std::string &what)
+{
+    return "pc " + std::to_string(pc) + " (" + disassemble(inst) +
+        "): " + what;
+}
+
+/** Verify one contiguous region range [begin, end). */
+std::string
+verifyRegion(const Program &prog, std::size_t begin, std::size_t end)
+{
+    // p0 is always defined.
+    std::vector<bool> defined(numPredRegs, false);
+    defined[0] = true;
+
+    for (std::size_t pc = begin; pc < end; ++pc) {
+        const Inst &inst = prog.insts[pc];
+
+        // Guard reads require definition.
+        if (inst.isGuarded() && inst.qp != 0 && !defined[inst.qp])
+            return violation(pc, inst, "guard read before definition");
+
+        switch (inst.op) {
+          case Opcode::PSet:
+            if (inst.qp == 0) {
+                defined[inst.pdst1] = true; // initialisation
+            } else if (!defined[inst.pdst1]) {
+                return violation(pc, inst,
+                                 "guarded pset updates undefined "
+                                 "predicate (missing init)");
+            }
+            break;
+          case Opcode::Cmp:
+            switch (inst.ctype) {
+              case CmpType::Unc:
+                // Writes both targets regardless of the guard.
+                defined[inst.pdst1] = true;
+                defined[inst.pdst2] = true;
+                break;
+              case CmpType::Normal:
+                // Writes only when guarded: definition is guard-
+                // dependent, which region code must not rely on.
+                if (inst.qp != 0) {
+                    return violation(
+                        pc, inst,
+                        "guard-dependent normal compare in region");
+                }
+                defined[inst.pdst1] = true;
+                defined[inst.pdst2] = true;
+                break;
+              case CmpType::And:
+              case CmpType::Or:
+              case CmpType::OrAndcm:
+              case CmpType::AndOrcm:
+                // Conditional updates: targets must exist already
+                // (p0 sinks excepted).
+                if (inst.pdst1 != 0 && !defined[inst.pdst1]) {
+                    return violation(pc, inst,
+                                     "or/and-type update of undefined "
+                                     "predicate (missing init)");
+                }
+                if (inst.pdst2 != 0 && !defined[inst.pdst2]) {
+                    return violation(pc, inst,
+                                     "or/and-type update of undefined "
+                                     "predicate (missing init)");
+                }
+                break;
+            }
+            break;
+          case Opcode::Br:
+            if (inst.regionBranch && inst.qp == 0) {
+                return violation(pc, inst,
+                                 "region-based branch without guard");
+            }
+            break;
+          default:
+            break;
+        }
+    }
+
+    // The final instruction must be the unconditional final exit.
+    const Inst &last = prog.insts[end - 1];
+    if (!(last.op == Opcode::Br && last.qp == 0)) {
+        return violation(end - 1, last,
+                         "region does not end in unconditional exit");
+    }
+    return "";
+}
+
+} // anonymous namespace
+
+std::string
+verifyPredicatedProgram(const Program &prog)
+{
+    std::set<std::int32_t> seen;
+    std::size_t pc = 0;
+    while (pc < prog.size()) {
+        std::int32_t rid = prog.insts[pc].regionId;
+        if (rid < 0) {
+            ++pc;
+            continue;
+        }
+        if (seen.count(rid)) {
+            return violation(pc, prog.insts[pc],
+                             "region " + std::to_string(rid) +
+                                 " is not contiguous");
+        }
+        seen.insert(rid);
+        std::size_t begin = pc;
+        while (pc < prog.size() && prog.insts[pc].regionId == rid)
+            ++pc;
+        std::string problem = verifyRegion(prog, begin, pc);
+        if (!problem.empty())
+            return problem;
+    }
+    return "";
+}
+
+} // namespace pabp

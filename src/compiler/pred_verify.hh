@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Static verifier for if-converted code. Hyperblocks are straight
+ * line, so the codegen contract can be checked exactly, per region:
+ *
+ *  - region instructions are contiguous in the program;
+ *  - every predicate is *safely defined* before it is read as a guard
+ *    or updated: an unguarded pset or an unconditional compare defines
+ *    its targets; or-/and-type compares and guarded psets are updates
+ *    and require a prior definition (catching the classic missing-init
+ *    bug for or-accumulated merge predicates);
+ *  - marked region-based branches are guarded; the region's final
+ *    instruction is the unconditional final exit.
+ *
+ * The lowerer runs this after emission (cheap, O(n)); the test suite
+ * also runs it across the workload suite and random programs.
+ */
+
+#ifndef PABP_COMPILER_PRED_VERIFY_HH
+#define PABP_COMPILER_PRED_VERIFY_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace pabp {
+
+/** Check the if-conversion codegen contract; "" when satisfied,
+ *  else a description of the first violation. */
+std::string verifyPredicatedProgram(const Program &prog);
+
+} // namespace pabp
+
+#endif // PABP_COMPILER_PRED_VERIFY_HH

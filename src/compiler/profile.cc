@@ -1,0 +1,56 @@
+#include "compiler/profile.hh"
+
+#include "bpred/gshare.hh"
+#include "compiler/lower.hh"
+#include "sim/emulator.hh"
+
+namespace pabp {
+
+std::uint64_t
+profileFunction(IrFunction &fn, const StateInit &init,
+                std::uint64_t max_steps)
+{
+    for (BasicBlock &bb : fn.blocks) {
+        bb.execCount = 0;
+        bb.takenCount = 0;
+        bb.profMispredicts = 0;
+    }
+
+    CompiledProgram compiled = lowerNormal(fn);
+
+    // Map block start PCs to blocks. Every block emits at least one
+    // instruction under normal lowering, so start PCs are unique.
+    std::vector<std::int32_t> start_block(compiled.prog.size(), -1);
+    for (BlockId b = 0; b < fn.blocks.size(); ++b)
+        start_block.at(compiled.info.blockStartPc[b]) =
+            static_cast<std::int32_t>(b);
+
+    Emulator emu(compiled.prog);
+    if (init)
+        init(emu.state());
+
+    // Reference predictor for per-branch predictability estimates
+    // (selective if-conversion wants to know which branches hurt).
+    GSharePredictor reference(12);
+
+    DynInst dyn;
+    std::uint64_t steps = 0;
+    while (steps < max_steps && emu.step(dyn)) {
+        ++steps;
+        std::int32_t b = start_block[dyn.pc];
+        if (b >= 0)
+            ++fn.blocks[b].execCount;
+        auto it = compiled.info.branchPcToBlock.find(dyn.pc);
+        if (it != compiled.info.branchPcToBlock.end()) {
+            if (dyn.taken)
+                ++fn.blocks[it->second].takenCount;
+            bool predicted = reference.predict(dyn.pc);
+            reference.update(dyn.pc, dyn.taken);
+            if (predicted != dyn.taken)
+                ++fn.blocks[it->second].profMispredicts;
+        }
+    }
+    return steps;
+}
+
+} // namespace pabp

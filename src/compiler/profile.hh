@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Edge profiler. Lowers the function without if-conversion, executes
+ * it on the golden emulator with the workload's memory image, and
+ * writes block execution / branch taken counts back into the IR for
+ * the region-formation heuristics.
+ */
+
+#ifndef PABP_COMPILER_PROFILE_HH
+#define PABP_COMPILER_PROFILE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "compiler/ir.hh"
+#include "sim/arch_state.hh"
+
+namespace pabp {
+
+/** Prepares architectural state (memory image, registers) for a run. */
+using StateInit = std::function<void(ArchState &)>;
+
+/**
+ * Profile @p fn by direct execution, updating execCount/takenCount on
+ * its blocks. Returns the number of instructions executed.
+ *
+ * @param fn Function to profile (counts are reset first).
+ * @param init Memory/register initialiser, or nullptr.
+ * @param max_steps Execution budget (fuse against runaway loops).
+ */
+std::uint64_t profileFunction(IrFunction &fn, const StateInit &init,
+                              std::uint64_t max_steps);
+
+} // namespace pabp
+
+#endif // PABP_COMPILER_PROFILE_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Profile-guided selection of acyclic single-entry regions for
+ * if-conversion (hyperblock formation).
+ *
+ * A region is grown from a seed block by repeatedly adding a candidate
+ * successor block X when:
+ *   - X is not already in any region and is not terminated by Halt,
+ *   - every CFG predecessor of X is already inside the region (this
+ *     keeps the region single-entry and forces topological growth),
+ *   - X has no edge back to the seed (the only way a cycle can form
+ *     under the previous rule),
+ *   - X is hot enough relative to the seed (cold successors are left
+ *     out, which is precisely what creates side exits - the
+ *     region-based branches the paper studies),
+ *   - the region stays within the size budget.
+ *
+ * The result records, for each region, its blocks in topological
+ * (insertion) order with the seed first.
+ */
+
+#ifndef PABP_COMPILER_REGIONS_HH
+#define PABP_COMPILER_REGIONS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/ir.hh"
+
+namespace pabp {
+
+/** Region-formation heuristics. */
+struct HyperblockHeuristics
+{
+    /** Maximum number of blocks per region. */
+    unsigned maxBlocks = 8;
+    /** Maximum total body instructions per region. */
+    unsigned maxBodyInsts = 96;
+    /** A candidate must have execCount >= ratio * seed execCount. */
+    double minWeightRatio = 0.10;
+    /** Seeds colder than this are not considered. */
+    std::uint64_t minSeedExec = 8;
+    /**
+     * Selective if-conversion: only seed on branches whose profiled
+     * mispredict ratio (profMispredicts / execCount under the
+     * profiler's reference predictor) is at least this. 0 disables
+     * the filter and predicates everything hot (the default).
+     */
+    double minSeedMispredictRatio = 0.0;
+};
+
+/** One selected region: blocks in topological order, seed first. */
+struct Region
+{
+    std::vector<BlockId> blocks;
+
+    BlockId seed() const { return blocks.front(); }
+    bool contains(BlockId b) const;
+};
+
+/** The full region assignment for a function. */
+struct RegionAssignment
+{
+    std::vector<Region> regions;
+    /** Per block: region index, or -1 when unassigned. */
+    std::vector<std::int32_t> blockRegion;
+
+    bool inRegion(BlockId b) const { return blockRegion.at(b) >= 0; }
+};
+
+/**
+ * Select regions over a profiled function. Blocks with zero profile
+ * data are treated as cold. Seeds are considered in block order; a
+ * region is kept only if it if-converts at least one branch (the seed
+ * plus at least one of its successors is inside).
+ */
+RegionAssignment selectRegions(const IrFunction &fn,
+                               const HyperblockHeuristics &heuristics);
+
+} // namespace pabp
+
+#endif // PABP_COMPILER_REGIONS_HH

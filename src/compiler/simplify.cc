@@ -1,0 +1,159 @@
+#include "compiler/simplify.hh"
+
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace pabp {
+
+namespace {
+
+/** Follow chains of empty Jump blocks from @p target; returns the
+ *  first block that is not an empty forwarder (cycle-safe). */
+BlockId
+threadTarget(const IrFunction &fn, BlockId target)
+{
+    std::vector<bool> visited(fn.blocks.size(), false);
+    BlockId current = target;
+    while (!visited[current]) {
+        visited[current] = true;
+        const BasicBlock &bb = fn.block(current);
+        if (!bb.body.empty() ||
+            bb.term.kind != Terminator::Kind::Jump) {
+            break;
+        }
+        current = bb.term.takenTarget;
+    }
+    return current;
+}
+
+/** Redirect every edge through empty forwarding blocks. */
+std::uint64_t
+threadJumps(IrFunction &fn)
+{
+    std::uint64_t threaded = 0;
+    for (BasicBlock &bb : fn.blocks) {
+        Terminator &t = bb.term;
+        if (t.kind == Terminator::Kind::Halt)
+            continue;
+        BlockId new_taken = threadTarget(fn, t.takenTarget);
+        if (new_taken != t.takenTarget) {
+            t.takenTarget = new_taken;
+            ++threaded;
+        }
+        if (t.kind == Terminator::Kind::CondBranch) {
+            BlockId new_fall = threadTarget(fn, t.fallTarget);
+            if (new_fall != t.fallTarget) {
+                t.fallTarget = new_fall;
+                ++threaded;
+            }
+            // Threading may collapse a conditional to a degenerate
+            // branch; turn it into a jump (the compare was pure).
+            if (t.takenTarget == t.fallTarget) {
+                Terminator jump;
+                jump.kind = Terminator::Kind::Jump;
+                jump.takenTarget = t.takenTarget;
+                t = jump;
+            }
+        }
+    }
+    return threaded;
+}
+
+/** Merge single-predecessor jump successors into their predecessor. */
+std::uint64_t
+mergeBlocks(IrFunction &fn)
+{
+    std::uint64_t merged = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        auto preds = fn.predecessorLists();
+        for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+            BasicBlock &bb = fn.block(b);
+            if (bb.term.kind != Terminator::Kind::Jump)
+                continue;
+            BlockId succ = bb.term.takenTarget;
+            if (succ == b || succ == 0)
+                continue;
+            if (preds[succ].size() != 1)
+                continue;
+            BasicBlock &sb = fn.block(succ);
+            bb.body.insert(bb.body.end(), sb.body.begin(),
+                           sb.body.end());
+            bb.term = sb.term;
+            // Leave succ as an unreachable husk; removal pass
+            // collects it.
+            sb.body.clear();
+            sb.term = Terminator{}; // halt
+            ++merged;
+            changed = true;
+            break; // predecessor lists are stale; recompute
+        }
+    }
+    return merged;
+}
+
+/** Drop blocks unreachable from the entry, remapping targets. */
+std::uint64_t
+removeUnreachable(IrFunction &fn)
+{
+    std::vector<bool> reachable(fn.blocks.size(), false);
+    std::vector<BlockId> worklist{0};
+    reachable[0] = true;
+    while (!worklist.empty()) {
+        BlockId b = worklist.back();
+        worklist.pop_back();
+        for (BlockId s : fn.successors(b)) {
+            if (!reachable[s]) {
+                reachable[s] = true;
+                worklist.push_back(s);
+            }
+        }
+    }
+
+    std::vector<BlockId> remap(fn.blocks.size(), invalidBlock);
+    std::vector<BasicBlock> kept;
+    for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+        if (reachable[b]) {
+            remap[b] = static_cast<BlockId>(kept.size());
+            kept.push_back(std::move(fn.blocks[b]));
+        }
+    }
+    std::uint64_t removed = fn.blocks.size() - kept.size();
+    fn.blocks = std::move(kept);
+    for (BasicBlock &bb : fn.blocks) {
+        Terminator &t = bb.term;
+        if (t.kind == Terminator::Kind::Halt)
+            continue;
+        t.takenTarget = remap[t.takenTarget];
+        pabp_assert(t.takenTarget != invalidBlock);
+        if (t.kind == Terminator::Kind::CondBranch) {
+            t.fallTarget = remap[t.fallTarget];
+            pabp_assert(t.fallTarget != invalidBlock);
+        }
+    }
+    return removed;
+}
+
+} // anonymous namespace
+
+SimplifyStats
+simplifyFunction(IrFunction &fn)
+{
+    pabp_assert(!fn.blocks.empty());
+    SimplifyStats stats;
+    bool changed = true;
+    while (changed) {
+        std::uint64_t threaded = threadJumps(fn);
+        std::uint64_t merged = mergeBlocks(fn);
+        std::uint64_t removed = removeUnreachable(fn);
+        stats.threadedJumps += threaded;
+        stats.mergedBlocks += merged;
+        stats.removedBlocks += removed;
+        changed = threaded || merged || removed;
+    }
+    return stats;
+}
+
+} // namespace pabp

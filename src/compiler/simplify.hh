@@ -1,0 +1,43 @@
+/**
+ * @file
+ * CFG simplification: jump threading (empty forwarding blocks),
+ * single-predecessor block merging, and unreachable-block removal.
+ * Run before profiling/region formation to clean up builder- or
+ * frontend-generated shapes; semantics-preserving (property-tested).
+ */
+
+#ifndef PABP_COMPILER_SIMPLIFY_HH
+#define PABP_COMPILER_SIMPLIFY_HH
+
+#include <cstdint>
+
+#include "compiler/ir.hh"
+
+namespace pabp {
+
+/** What a simplification run did. */
+struct SimplifyStats
+{
+    std::uint64_t threadedJumps = 0;  ///< edges redirected past
+                                      ///< empty forwarding blocks
+    std::uint64_t mergedBlocks = 0;   ///< single-pred merges
+    std::uint64_t removedBlocks = 0;  ///< unreachable blocks deleted
+
+    bool
+    changedAnything() const
+    {
+        return threadedJumps || mergedBlocks || removedBlocks;
+    }
+};
+
+/**
+ * Simplify @p fn in place to a fix point. Profile counts on surviving
+ * blocks are preserved; merged blocks keep the *predecessor's* counts
+ * (re-profile afterwards if exact counts matter). The entry block is
+ * never removed or merged away.
+ */
+SimplifyStats simplifyFunction(IrFunction &fn);
+
+} // namespace pabp
+
+#endif // PABP_COMPILER_SIMPLIFY_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fetch-visible predicate register file with a define-to-use delay.
+ *
+ * The squash false path filter may only consult predicate values that
+ * have actually been computed by the time the branch is fetched. This
+ * component models that constraint in a trace-driven setting: a write
+ * performed by the instruction at sequence number W becomes visible to
+ * instructions at sequence numbers >= W + delay; any in-flight (not
+ * yet visible) write to a register makes its value *unknown*, because
+ * the fetch stage cannot tell which value will win.
+ *
+ * Consulting only resolved values is what makes the filter's
+ * not-taken predictions 100% accurate (DESIGN.md, decision 3).
+ */
+
+#ifndef PABP_CORE_DELAYED_PRED_FILE_HH
+#define PABP_CORE_DELAYED_PRED_FILE_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace pabp {
+
+/** Trace-driven delayed-visibility predicate file. */
+class DelayedPredicateFile
+{
+  public:
+    /**
+     * @param delay Instructions between a predicate define and its
+     *        visibility at fetch (roughly front-end depth x width).
+     */
+    explicit DelayedPredicateFile(unsigned delay);
+
+    /** Record a predicate write by the instruction at @p seq. */
+    void write(std::uint64_t seq, unsigned reg, bool value);
+
+    /**
+     * Record an in-flight define that will NOT architecturally write
+     * (a guard-false or-type compare, say). Conservative hardware
+     * cannot tell at fetch, so such a define still makes the register
+     * unknown until it resolves. Used by the conservative-tracking
+     * ablation.
+     */
+    void writeNoop(std::uint64_t seq, unsigned reg);
+
+    /** Make all writes older than @p seq - delay visible. Must be
+     *  called with non-decreasing @p seq. */
+    void advanceTo(std::uint64_t seq);
+
+    /**
+     * Value of predicate @p reg as known at fetch after the last
+     * advanceTo(). nullopt when a write is still in flight. p0 always
+     * reads true.
+     */
+    std::optional<bool> read(unsigned reg) const;
+
+    unsigned delay() const { return visDelay; }
+    void reset();
+
+  private:
+    struct Pending
+    {
+        std::uint64_t seq;
+        std::uint8_t reg;
+        bool value;
+        bool writes;
+    };
+
+    unsigned visDelay;
+    std::vector<bool> visible;
+    std::vector<unsigned> inFlight;
+    std::deque<Pending> queue;
+};
+
+} // namespace pabp
+
+#endif // PABP_CORE_DELAYED_PRED_FILE_HH

@@ -1,0 +1,167 @@
+#include "core/engine.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pabp {
+
+PredictionEngine::PredictionEngine(BranchPredictor &base,
+                                   EngineConfig config)
+    : pred(base), cfg(config), predFile(config.availDelay),
+      sfpf(predFile), pgu(base, config.pgu), pvp(config.pvpEntriesLog2),
+      jrs(config.jrsEntriesLog2)
+{
+}
+
+ProcessResult
+PredictionEngine::processConditionalBranch(const DynInst &dyn)
+{
+    const Inst &inst = *dyn.inst;
+    BranchClassStats &cls =
+        inst.regionBranch ? engineStats.region : engineStats.normal;
+
+    bool squash = cfg.useSfpf && sfpf.shouldSquash(inst);
+
+    // Extension: when the guard is unresolved, optionally predict it
+    // and squash speculatively (confidence-gated, counted apart).
+    bool spec_squash = false;
+    if (cfg.useSpeculativeSquash) {
+        bool predicted_guard = pvp.predictGuard(dyn.pc);
+        bool confident =
+            cfg.specGate == EngineConfig::SpecGate::Saturation
+                ? pvp.confident(dyn.pc)
+                : jrs.highConfidence(dyn.pc);
+        if (!squash && cfg.useSfpf &&
+            !predFile.read(inst.qp).has_value() && confident &&
+            !predicted_guard) {
+            spec_squash = true;
+        }
+        pvp.train(dyn.pc, dyn.guard);
+        if (cfg.specGate == EngineConfig::SpecGate::Jrs)
+            jrs.update(dyn.pc, predicted_guard == dyn.guard);
+    }
+
+    bool predicted;
+    if (spec_squash) {
+        predicted = false;
+        ++engineStats.specSquashed;
+        if (dyn.taken)
+            ++engineStats.specSquashedWrong;
+    } else if (squash) {
+        predicted = false;
+        sfpf.noteSquash();
+        ++engineStats.all.squashed;
+        ++cls.squashed;
+        // The filter only fires on resolved-false guards, and a
+        // guarded branch with a false guard is architecturally
+        // not-taken: squashed predictions are always correct.
+        pabp_assert(!dyn.taken);
+        if (cfg.trainOnSquashed) {
+            (void)pred.predict(dyn.pc);
+            pred.update(dyn.pc, dyn.taken);
+        }
+    } else {
+        predicted = pred.predict(dyn.pc);
+        pred.update(dyn.pc, dyn.taken);
+    }
+
+    ++engineStats.all.branches;
+    ++cls.branches;
+    if (dyn.taken) {
+        ++engineStats.all.taken;
+        ++cls.taken;
+    }
+    if (!dyn.guard) {
+        ++engineStats.all.falseGuard;
+        ++cls.falseGuard;
+    }
+    if (predicted != dyn.taken) {
+        ++engineStats.all.mispredicts;
+        ++cls.mispredicts;
+    }
+
+    ProcessResult result;
+    result.condBranch = true;
+    result.mispredicted = predicted != dyn.taken;
+    result.squashed = squash;
+    return result;
+}
+
+ProcessResult
+PredictionEngine::process(const DynInst &dyn)
+{
+    ++engineStats.insts;
+    if (cfg.useSfpf)
+        predFile.advanceTo(dyn.seq);
+    if (cfg.usePgu)
+        pgu.drainTo(dyn.seq);
+
+    ProcessResult result;
+    const Inst &inst = *dyn.inst;
+    if (inst.op == Opcode::Br) {
+        if (inst.qp == 0)
+            ++engineStats.uncondBranches;
+        else
+            result = processConditionalBranch(dyn);
+    } else if (inst.op == Opcode::Call || inst.op == Opcode::Ret) {
+        ++engineStats.uncondBranches;
+    }
+
+    if (inst.writesPredicate()) {
+        ++engineStats.predicateDefines;
+        if (cfg.useSfpf) {
+            for (unsigned i = 0; i < dyn.numPredWrites; ++i) {
+                predFile.write(dyn.seq, dyn.predWrites[i].reg,
+                               dyn.predWrites[i].value);
+            }
+            if (cfg.conservativeDefTracking) {
+                auto written = [&](unsigned reg) {
+                    for (unsigned i = 0; i < dyn.numPredWrites; ++i)
+                        if (dyn.predWrites[i].reg == reg)
+                            return true;
+                    return false;
+                };
+                if (!written(inst.pdst1))
+                    predFile.writeNoop(dyn.seq, inst.pdst1);
+                if (inst.op == Opcode::Cmp && !written(inst.pdst2))
+                    predFile.writeNoop(dyn.seq, inst.pdst2);
+            }
+        }
+        if (cfg.usePgu)
+            pgu.observe(dyn);
+    }
+    return result;
+}
+
+void
+PredictionEngine::resetStats()
+{
+    engineStats = EngineStats{};
+    sfpf.resetStats();
+}
+
+std::uint64_t
+runTrace(Emulator &emu, PredictionEngine &engine, std::uint64_t max_insts)
+{
+    DynInst dyn;
+    std::uint64_t processed = 0;
+    while (processed < max_insts && emu.step(dyn)) {
+        engine.process(dyn);
+        ++processed;
+    }
+    return processed;
+}
+
+std::uint64_t
+replayTrace(const RecordedTrace &trace, PredictionEngine &engine,
+            std::uint64_t max_insts)
+{
+    std::uint64_t limit =
+        std::min<std::uint64_t>(max_insts, trace.size());
+    for (std::uint64_t i = 0; i < limit; ++i)
+        engine.process(trace.materialise(i));
+    return limit;
+}
+
+} // namespace pabp

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The predicate-aware prediction engine: a base direction predictor
+ * optionally wrapped with the paper's two techniques (squash false
+ * path filter, predicate global update), driven by the dynamic
+ * instruction stream. This is the component every experiment in
+ * bench/ instantiates.
+ */
+
+#ifndef PABP_CORE_ENGINE_HH
+#define PABP_CORE_ENGINE_HH
+
+#include <cstdint>
+
+#include "bpred/confidence.hh"
+#include "bpred/predictor.hh"
+#include "core/delayed_pred_file.hh"
+#include "core/pgu.hh"
+#include "core/pred_value_pred.hh"
+#include "core/sfpf.hh"
+#include "sim/emulator.hh"
+#include "sim/trace_io.hh"
+
+namespace pabp {
+
+/** Engine configuration: which techniques are armed. */
+struct EngineConfig
+{
+    bool useSfpf = false;
+    bool usePgu = false;
+    /** Define-to-fetch visibility delay for the filter, in dynamic
+     *  instructions (roughly front-end depth x issue width). */
+    unsigned availDelay = 8;
+    PguConfig pgu;
+    /** Ablation: squashed branches still train the base predictor
+     *  (the paper's design skips training to avoid pollution). */
+    bool trainOnSquashed = false;
+    /** Ablation: a fetched define to a predicate makes it unknown
+     *  even when it will not architecturally write (conservative
+     *  hardware that cannot pre-evaluate guards at fetch). */
+    bool conservativeDefTracking = false;
+    /** Extension: when the guard is unresolved at fetch, predict its
+     *  value with a confidence-gated counter table and squash
+     *  speculatively. Not 100% accurate; see EngineStats. */
+    bool useSpeculativeSquash = false;
+    unsigned pvpEntriesLog2 = 10;
+    /** Confidence gate for speculative squash: the value predictor's
+     *  own counter saturation, or a JRS resetting-counter estimator
+     *  tracking recent guard-prediction correctness. */
+    enum class SpecGate : std::uint8_t { Saturation, Jrs };
+    SpecGate specGate = SpecGate::Saturation;
+    unsigned jrsEntriesLog2 = 10;
+};
+
+/** Per-branch-class counters. */
+struct BranchClassStats
+{
+    std::uint64_t branches = 0;
+    std::uint64_t taken = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t squashed = 0;
+    std::uint64_t falseGuard = 0; ///< guard false at execute (oracle)
+
+    double
+    mispredictRate() const
+    {
+        return branches
+            ? static_cast<double>(mispredicts) /
+                static_cast<double>(branches)
+            : 0.0;
+    }
+};
+
+/** All engine statistics. */
+struct EngineStats
+{
+    std::uint64_t insts = 0;
+    std::uint64_t uncondBranches = 0;
+    std::uint64_t predicateDefines = 0;
+
+    BranchClassStats all;     ///< every conditional branch
+    BranchClassStats region;  ///< region-based branches only
+    BranchClassStats normal;  ///< the rest
+
+    /** @name Speculative-squash extension counters
+     *  @{ */
+    std::uint64_t specSquashed = 0;      ///< guard predicted false
+    std::uint64_t specSquashedWrong = 0; ///< ...and the branch was taken
+    /** @} */
+
+    double
+    mpki() const
+    {
+        return insts
+            ? 1000.0 * static_cast<double>(all.mispredicts) /
+                static_cast<double>(insts)
+            : 0.0;
+    }
+};
+
+/** What the engine decided for one instruction (pipeline feedback). */
+struct ProcessResult
+{
+    bool condBranch = false;
+    bool mispredicted = false;
+    bool squashed = false;
+};
+
+/** Drives predictor + SFPF + PGU over a dynamic trace. */
+class PredictionEngine
+{
+  public:
+    PredictionEngine(BranchPredictor &base, EngineConfig config);
+
+    /** Feed one executed instruction, in program order. */
+    ProcessResult process(const DynInst &dyn);
+
+    const EngineStats &stats() const { return engineStats; }
+    std::uint64_t pguBitsInserted() const { return pgu.bitsInserted(); }
+
+    /** Zero the counters; predictor and history state persist. */
+    void resetStats();
+
+  private:
+    BranchPredictor &pred;
+    EngineConfig cfg;
+    DelayedPredicateFile predFile;
+    SquashFalsePathFilter sfpf;
+    PredicateGlobalUpdate pgu;
+    PredicateValuePredictor pvp;
+    ConfidenceEstimator jrs;
+    EngineStats engineStats;
+
+    ProcessResult processConditionalBranch(const DynInst &dyn);
+};
+
+/**
+ * Convenience: run up to @p max_insts instructions of @p emu through
+ * @p engine. Returns the number of instructions processed (less than
+ * the budget when the program halts first).
+ */
+std::uint64_t runTrace(Emulator &emu, PredictionEngine &engine,
+                       std::uint64_t max_insts);
+
+/**
+ * Replay a recorded trace through @p engine (record once with
+ * recordTrace(), replay against many predictor configurations).
+ * Returns the number of events processed.
+ */
+std::uint64_t replayTrace(const RecordedTrace &trace,
+                          PredictionEngine &engine,
+                          std::uint64_t max_insts);
+
+} // namespace pabp
+
+#endif // PABP_CORE_ENGINE_HH

@@ -1,0 +1,53 @@
+#include "core/pgu.hh"
+
+namespace pabp {
+
+void
+PredicateGlobalUpdate::observe(const DynInst &dyn)
+{
+    const Inst &inst = *dyn.inst;
+    bool is_cmp = inst.op == Opcode::Cmp;
+    bool is_pset = inst.op == Opcode::PSet;
+    if (!is_cmp && !(is_pset && cfg.includePSet))
+        return;
+    if (cfg.source == PguSource::RegionCmps && inst.regionId < 0)
+        return;
+
+    switch (cfg.value) {
+      case PguValue::Rel:
+        // Insert the comparison outcome for guarded-true compares;
+        // a guard-false compare computed nothing worth recording.
+        if (is_cmp && dyn.guard)
+            queue.push_back(Pending{dyn.seq, dyn.cmpRel});
+        else if (is_pset && dyn.guard)
+            queue.push_back(Pending{dyn.seq, (inst.imm & 1) != 0});
+        break;
+      case PguValue::FirstWrite:
+        if (dyn.numPredWrites > 0)
+            queue.push_back(Pending{dyn.seq, dyn.predWrites[0].value});
+        break;
+      case PguValue::BothWrites:
+        for (unsigned i = 0; i < dyn.numPredWrites; ++i)
+            queue.push_back(Pending{dyn.seq, dyn.predWrites[i].value});
+        break;
+    }
+}
+
+void
+PredicateGlobalUpdate::drainTo(std::uint64_t seq)
+{
+    while (!queue.empty() && queue.front().seq + cfg.delay <= seq) {
+        pred.injectHistoryBit(queue.front().bit);
+        ++inserted;
+        queue.pop_front();
+    }
+}
+
+void
+PredicateGlobalUpdate::reset()
+{
+    queue.clear();
+    inserted = 0;
+}
+
+} // namespace pabp

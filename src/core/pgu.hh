@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The predicate global update (PGU) mechanism - the paper's second
+ * technique.
+ *
+ * Conventional global history only records branch outcomes; after
+ * if-conversion the branches that carried the correlation have become
+ * predicate defines and vanish from the history, so region-based
+ * branches lose their correlated context. PGU restores it by shifting
+ * the outcome of each predicate define into the predictor's global
+ * history register when the define resolves.
+ *
+ * Because defines resolve in the backend, their bits reach the history
+ * a few instructions after the define is fetched; this delay is
+ * modelled the same way as in the delayed predicate file.
+ */
+
+#ifndef PABP_CORE_PGU_HH
+#define PABP_CORE_PGU_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "bpred/predictor.hh"
+#include "isa/inst.hh"
+#include "sim/emulator.hh"
+
+namespace pabp {
+
+/** Which predicate defines contribute history bits. */
+enum class PguSource : std::uint8_t
+{
+    AllCmps,     ///< every compare instruction
+    RegionCmps,  ///< only compares inside predicated regions (models a
+                 ///< compiler hint bit on the define)
+};
+
+/** Which value of a define is inserted. */
+enum class PguValue : std::uint8_t
+{
+    Rel,        ///< the comparison outcome, when the guard was true
+    FirstWrite, ///< the first predicate value actually written
+    BothWrites, ///< both written predicate values (2 bits for unc)
+};
+
+/** PGU configuration. */
+struct PguConfig
+{
+    PguSource source = PguSource::AllCmps;
+    PguValue value = PguValue::Rel;
+    /** Also insert pset pseudo-define outcomes. */
+    bool includePSet = false;
+    /** Instructions from define to history visibility. */
+    unsigned delay = 8;
+};
+
+/**
+ * Collects predicate-define outcomes from the dynamic stream and
+ * injects them into a base predictor's global history with the
+ * configured delay.
+ */
+class PredicateGlobalUpdate
+{
+  public:
+    PredicateGlobalUpdate(BranchPredictor &base, PguConfig config)
+        : pred(base), cfg(config)
+    {}
+
+    /** Observe one executed instruction; queue its history bits. */
+    void observe(const DynInst &dyn);
+
+    /** Inject all bits that have resolved by @p seq. Call before the
+     *  prediction of the branch at @p seq. */
+    void drainTo(std::uint64_t seq);
+
+    std::uint64_t bitsInserted() const { return inserted; }
+    const PguConfig &config() const { return cfg; }
+    void reset();
+
+  private:
+    struct Pending
+    {
+        std::uint64_t seq;
+        bool bit;
+    };
+
+    BranchPredictor &pred;
+    PguConfig cfg;
+    std::deque<Pending> queue;
+    std::uint64_t inserted = 0;
+};
+
+} // namespace pabp
+
+#endif // PABP_CORE_PGU_HH

@@ -1,0 +1,38 @@
+#include "core/pred_value_pred.hh"
+
+#include "util/logging.hh"
+
+namespace pabp {
+
+PredicateValuePredictor::PredicateValuePredictor(unsigned entries_log2)
+    : table(std::size_t{1} << entries_log2, SatCounter(2))
+{
+    pabp_assert(entries_log2 >= 1 && entries_log2 <= 20);
+}
+
+bool
+PredicateValuePredictor::predictGuard(std::uint32_t pc) const
+{
+    return table[index(pc)].predictTaken();
+}
+
+void
+PredicateValuePredictor::train(std::uint32_t pc, bool guard)
+{
+    table[index(pc)].update(guard);
+}
+
+bool
+PredicateValuePredictor::confident(std::uint32_t pc) const
+{
+    return table[index(pc)].isSaturated();
+}
+
+void
+PredicateValuePredictor::reset()
+{
+    for (auto &c : table)
+        c = SatCounter(2);
+}
+
+} // namespace pabp

@@ -1,0 +1,421 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace pabp {
+
+namespace {
+
+/** Thrown internally; converted to AssembleResult::error. */
+struct AsmError
+{
+    std::string message;
+};
+
+[[noreturn]] void
+fail(const std::string &message)
+{
+    throw AsmError{message};
+}
+
+/** Character-level cursor over one source line. */
+class LineParser
+{
+  public:
+    explicit LineParser(const std::string &line) : text(line) {}
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+    }
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos >= text.size();
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        return pos < text.size() ? text[pos] : '\0';
+    }
+
+    /** Consume an expected punctuation character. */
+    void
+    expect(char c)
+    {
+        skipSpace();
+        if (pos >= text.size() || text[pos] != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    bool
+    tryConsume(char c)
+    {
+        skipSpace();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    /** Identifier: [A-Za-z_][A-Za-z0-9_.]* */
+    std::string
+    ident()
+    {
+        skipSpace();
+        std::size_t start = pos;
+        if (pos < text.size() &&
+            (std::isalpha(static_cast<unsigned char>(text[pos])) ||
+             text[pos] == '_')) {
+            ++pos;
+            while (pos < text.size() &&
+                   (std::isalnum(
+                        static_cast<unsigned char>(text[pos])) ||
+                    text[pos] == '_' || text[pos] == '.')) {
+                ++pos;
+            }
+        }
+        if (start == pos)
+            fail("expected identifier");
+        return text.substr(start, pos - start);
+    }
+
+    /** Signed integer literal. */
+    std::int64_t
+    number()
+    {
+        skipSpace();
+        std::size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+        if (start == pos ||
+            (pos - start == 1 && !std::isdigit(static_cast<unsigned char>(
+                                     text[start])))) {
+            fail("expected number");
+        }
+        return std::strtoll(text.substr(start, pos - start).c_str(),
+                            nullptr, 10);
+    }
+
+    bool
+    numberAhead()
+    {
+        skipSpace();
+        if (pos >= text.size())
+            return false;
+        char c = text[pos];
+        return std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+            c == '+';
+    }
+
+  private:
+    const std::string &text;
+    std::size_t pos = 0;
+};
+
+unsigned
+parseReg(LineParser &p, char kind, unsigned limit)
+{
+    std::string id = p.ident();
+    if (id.size() < 2 || id[0] != kind)
+        fail(std::string("expected ") + kind + "-register, got " + id);
+    char *end = nullptr;
+    long idx = std::strtol(id.c_str() + 1, &end, 10);
+    if (*end != '\0' || idx < 0 || idx >= static_cast<long>(limit))
+        fail("bad register " + id);
+    return static_cast<unsigned>(idx);
+}
+
+unsigned
+parseGpr(LineParser &p)
+{
+    return parseReg(p, 'r', numGprs);
+}
+
+unsigned
+parsePred(LineParser &p)
+{
+    return parseReg(p, 'p', numPredRegs);
+}
+
+std::optional<CmpRel>
+relFromName(const std::string &name)
+{
+    static const std::map<std::string, CmpRel> rels = {
+        {"eq", CmpRel::Eq}, {"ne", CmpRel::Ne}, {"lt", CmpRel::Lt},
+        {"le", CmpRel::Le}, {"gt", CmpRel::Gt}, {"ge", CmpRel::Ge},
+        {"ltu", CmpRel::Ltu}, {"geu", CmpRel::Geu}};
+    auto it = rels.find(name);
+    if (it == rels.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<CmpType>
+typeFromName(const std::string &name)
+{
+    static const std::map<std::string, CmpType> types = {
+        {"unc", CmpType::Unc},       {"and", CmpType::And},
+        {"or", CmpType::Or},         {"or.andcm", CmpType::OrAndcm},
+        {"and.orcm", CmpType::AndOrcm}};
+    auto it = types.find(name);
+    if (it == types.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<Opcode>
+aluFromName(const std::string &name)
+{
+    static const std::map<std::string, Opcode> ops = {
+        {"add", Opcode::Add}, {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul}, {"div", Opcode::Div},
+        {"and", Opcode::And}, {"or", Opcode::Or},
+        {"xor", Opcode::Xor}, {"shl", Opcode::Shl},
+        {"shr", Opcode::Shr}};
+    auto it = ops.find(name);
+    if (it == ops.end())
+        return std::nullopt;
+    return it->second;
+}
+
+class Assembler
+{
+  public:
+    AssembleResult
+    run(const std::string &source, const std::string &name)
+    {
+        AssembleResult result;
+        result.prog.name = name;
+
+        std::istringstream stream(source);
+        std::string line;
+        unsigned line_no = 0;
+        try {
+            while (std::getline(stream, line)) {
+                ++line_no;
+                parseLine(stripComment(line));
+            }
+            resolveFixups();
+        } catch (const AsmError &error) {
+            result.error = "line " + std::to_string(line_no) + ": " +
+                error.message;
+            return result;
+        }
+        result.prog.insts = std::move(insts);
+        return result;
+    }
+
+  private:
+    std::vector<Inst> insts;
+    std::map<std::string, std::uint32_t> labels;
+    std::vector<std::pair<std::size_t, std::string>> fixups;
+
+    static std::string
+    stripComment(const std::string &line)
+    {
+        auto semi = line.find(';');
+        return semi == std::string::npos ? line : line.substr(0, semi);
+    }
+
+    void
+    parseLine(const std::string &line)
+    {
+        LineParser p(line);
+        if (p.atEnd())
+            return;
+
+        // Optional guard "(pN)".
+        unsigned qp = 0;
+        if (p.tryConsume('(')) {
+            qp = parsePred(p);
+            p.expect(')');
+        }
+
+        std::string word = p.ident();
+
+        // Label definition "name:" (only without a guard prefix).
+        if (qp == 0 && p.tryConsume(':')) {
+            if (labels.count(word))
+                fail("duplicate label " + word);
+            labels[word] = static_cast<std::uint32_t>(insts.size());
+            if (p.atEnd())
+                return;
+            // Allow "label: inst" on one line.
+            if (p.tryConsume('(')) {
+                qp = parsePred(p);
+                p.expect(')');
+            }
+            word = p.ident();
+        }
+
+        parseInst(p, word, qp);
+        if (!p.atEnd())
+            fail("trailing characters");
+    }
+
+    void
+    parseInst(LineParser &p, const std::string &mnemonic, unsigned qp)
+    {
+        if (mnemonic == "nop") {
+            insts.push_back(makeNop());
+            return;
+        }
+        if (mnemonic == "halt") {
+            insts.push_back(makeHalt());
+            return;
+        }
+        if (mnemonic == "ret") {
+            insts.push_back(makeRet(qp));
+            return;
+        }
+        if (mnemonic == "br" || mnemonic == "call") {
+            bool is_call = mnemonic == "call";
+            std::uint32_t target = 0;
+            if (p.numberAhead()) {
+                target = static_cast<std::uint32_t>(p.number());
+            } else {
+                fixups.emplace_back(insts.size(), p.ident());
+            }
+            insts.push_back(is_call ? makeCall(target, qp)
+                                    : makeBr(target, qp));
+            return;
+        }
+        if (mnemonic == "mov") {
+            unsigned dst = parseGpr(p);
+            p.expect('=');
+            if (p.numberAhead())
+                insts.push_back(makeMovImm(dst, p.number(), qp));
+            else
+                insts.push_back(makeMov(dst, parseGpr(p), qp));
+            return;
+        }
+        if (mnemonic == "pset") {
+            unsigned pdst = parsePred(p);
+            p.expect('=');
+            insts.push_back(makePSet(pdst, p.number() != 0, qp));
+            return;
+        }
+        if (mnemonic == "ld") {
+            unsigned dst = parseGpr(p);
+            p.expect('=');
+            p.expect('[');
+            unsigned base = parseGpr(p);
+            std::int64_t offset = 0;
+            if (p.tryConsume('+'))
+                offset = p.number();
+            p.expect(']');
+            insts.push_back(makeLoad(dst, base, offset, qp));
+            return;
+        }
+        if (mnemonic == "st") {
+            p.expect('[');
+            unsigned base = parseGpr(p);
+            std::int64_t offset = 0;
+            if (p.tryConsume('+'))
+                offset = p.number();
+            p.expect(']');
+            p.expect('=');
+            unsigned src = parseGpr(p);
+            insts.push_back(makeStore(base, offset, src, qp));
+            return;
+        }
+        if (mnemonic.rfind("cmp.", 0) == 0) {
+            parseCmp(p, mnemonic.substr(4), qp);
+            return;
+        }
+        if (auto op = aluFromName(mnemonic)) {
+            unsigned dst = parseGpr(p);
+            p.expect('=');
+            unsigned src1 = parseGpr(p);
+            p.expect(',');
+            if (p.numberAhead()) {
+                insts.push_back(
+                    makeAluImm(*op, dst, src1, p.number(), qp));
+            } else {
+                insts.push_back(
+                    makeAlu(*op, dst, src1, parseGpr(p), qp));
+            }
+            return;
+        }
+        fail("unknown mnemonic: " + mnemonic);
+    }
+
+    void
+    parseCmp(LineParser &p, const std::string &suffix, unsigned qp)
+    {
+        // suffix is "rel" or "rel.type" (type may contain a dot).
+        std::string rel_name = suffix;
+        std::string type_name;
+        auto dot = suffix.find('.');
+        if (dot != std::string::npos) {
+            rel_name = suffix.substr(0, dot);
+            type_name = suffix.substr(dot + 1);
+        }
+        auto rel = relFromName(rel_name);
+        if (!rel)
+            fail("bad compare relation: " + rel_name);
+        CmpType type = CmpType::Normal;
+        if (!type_name.empty()) {
+            auto parsed = typeFromName(type_name);
+            if (!parsed)
+                fail("bad compare type: " + type_name);
+            type = *parsed;
+        }
+
+        unsigned p1 = parsePred(p);
+        p.expect(',');
+        unsigned p2 = parsePred(p);
+        p.expect('=');
+        unsigned src1 = parseGpr(p);
+        p.expect(',');
+        if (p.numberAhead()) {
+            insts.push_back(
+                makeCmpImm(*rel, type, p1, p2, src1, p.number(), qp));
+        } else {
+            insts.push_back(
+                makeCmp(*rel, type, p1, p2, src1, parseGpr(p), qp));
+        }
+    }
+
+    void
+    resolveFixups()
+    {
+        for (const auto &[idx, label] : fixups) {
+            auto it = labels.find(label);
+            if (it == labels.end())
+                fail("undefined label: " + label);
+            insts[idx].target = it->second;
+        }
+    }
+};
+
+} // anonymous namespace
+
+AssembleResult
+assembleProgram(const std::string &source, const std::string &name)
+{
+    Assembler assembler;
+    return assembler.run(source, name);
+}
+
+} // namespace pabp

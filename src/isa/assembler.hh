@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Two-pass assembler for the predicated ISA. Accepts exactly the
+ * disassembler's syntax plus labels, so textual programs round-trip:
+ *
+ *   loop:
+ *       (p3) cmp.lt.unc p4, p5 = r2, r7
+ *       (p4) br loop          ; labels or absolute numbers
+ *       add r1 = r2, 3
+ *       ld r1 = [r2 + -4]
+ *       st [r2 + 8] = r1
+ *       pset p7 = 1
+ *       halt
+ *
+ * Comments run from ';' to end of line. One instruction per line.
+ */
+
+#ifndef PABP_ISA_ASSEMBLER_HH
+#define PABP_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace pabp {
+
+/** Result of assembling a source string. */
+struct AssembleResult
+{
+    Program prog;
+    /** Empty on success, else "line N: message". */
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Assemble source text into a program. Never throws; syntax errors
+ *  are reported via AssembleResult::error. */
+AssembleResult assembleProgram(const std::string &source,
+                               const std::string &name = "asm");
+
+} // namespace pabp
+
+#endif // PABP_ISA_ASSEMBLER_HH

@@ -1,0 +1,190 @@
+#include "pipeline/pipeline.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pabp {
+
+Pipeline::Pipeline(PredictionEngine &engine_, PipelineConfig config)
+    : engine(engine_), cfg(config), icache(config.icache),
+      dcache(config.dcache), l2(config.l2),
+      btb(config.btbSetsLog2, config.btbWays), ras(config.rasDepth)
+{
+    pabp_assert(cfg.issueWidth >= 1);
+}
+
+std::uint64_t
+Pipeline::execLatency(const DynInst &dyn)
+{
+    const Inst &inst = *dyn.inst;
+    switch (inst.op) {
+      case Opcode::Mul:
+        return cfg.mulLatency;
+      case Opcode::Div:
+        return cfg.divLatency;
+      case Opcode::Load:
+      case Opcode::Store: {
+        if (!dyn.guard)
+            return cfg.aluLatency; // squashed access, address only
+        auto addr = static_cast<std::uint64_t>(dyn.effAddr);
+        bool hit = dcache.access(addr);
+        bool l2_hit = true;
+        if (!hit) {
+            ++pipeStats.dcacheMisses;
+            if (cfg.enableL2) {
+                l2_hit = l2.access(addr);
+                if (!l2_hit)
+                    ++pipeStats.l2Misses;
+            }
+        }
+        if (inst.op == Opcode::Load) {
+            if (hit)
+                return cfg.loadHitLatency;
+            return l2_hit ? cfg.loadMissLatency : cfg.memoryLatency;
+        }
+        return cfg.aluLatency; // stores retire via the write buffer
+      }
+      default:
+        return cfg.aluLatency;
+    }
+}
+
+std::uint64_t
+Pipeline::operandsReady(const DynInst &dyn) const
+{
+    const Inst &inst = *dyn.inst;
+    std::uint64_t ready = 0;
+    auto need_gpr = [&](unsigned reg) {
+        ready = std::max(ready, regReady[reg]);
+    };
+
+    if (inst.isGuarded() && inst.qp != 0)
+        ready = std::max(ready, predReady[inst.qp]);
+
+    switch (inst.op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Cmp:
+        need_gpr(inst.src1);
+        if (!inst.hasImm)
+            need_gpr(inst.src2);
+        break;
+      case Opcode::Mov:
+        if (!inst.hasImm)
+            need_gpr(inst.src1);
+        break;
+      case Opcode::Load:
+        need_gpr(inst.src1);
+        break;
+      case Opcode::Store:
+        need_gpr(inst.src1);
+        need_gpr(inst.src2);
+        break;
+      default:
+        break;
+    }
+    return ready;
+}
+
+void
+Pipeline::issueOne(const DynInst &dyn)
+{
+    const Inst &inst = *dyn.inst;
+
+    // Instruction fetch: a line miss delays availability. In the
+    // unified L2, instruction lines live in a disjoint address space
+    // (high bit set) so they never falsely share data lines.
+    if (!icache.access(dyn.pc)) {
+        ++pipeStats.icacheMisses;
+        unsigned penalty = cfg.icacheMissPenalty;
+        if (cfg.enableL2 &&
+            !l2.access(static_cast<std::uint64_t>(dyn.pc) |
+                       (std::uint64_t{1} << 40))) {
+            ++pipeStats.l2Misses;
+            penalty = cfg.memoryLatency;
+        }
+        fetchReady = std::max(fetchReady, cycle) + penalty;
+    }
+
+    std::uint64_t earliest = std::max(fetchReady, operandsReady(dyn));
+    if (earliest > cycle) {
+        cycle = earliest;
+        slotsUsed = 0;
+    }
+    if (slotsUsed >= cfg.issueWidth) {
+        ++cycle;
+        slotsUsed = 0;
+    }
+    ++slotsUsed;
+
+    std::uint64_t done = cycle + execLatency(dyn);
+
+    // Destination readiness (only architecturally performed writes).
+    if (dyn.guard && inst.dst != 0 &&
+        (inst.op == Opcode::Load || inst.op == Opcode::Mov ||
+         (inst.op >= Opcode::Add && inst.op <= Opcode::Shr))) {
+        regReady[inst.dst] = done;
+    }
+    for (unsigned i = 0; i < dyn.numPredWrites; ++i)
+        predReady[dyn.predWrites[i].reg] = done;
+
+    // Control flow: prediction outcome drives the front end.
+    ProcessResult result = engine.process(dyn);
+    if (result.condBranch && result.mispredicted) {
+        std::uint64_t resolve = cycle + 1;
+        std::uint64_t restart = resolve + cfg.mispredictPenalty;
+        pipeStats.mispredictStallCycles += restart - fetchReady;
+        fetchReady = std::max(fetchReady, restart);
+    } else if (inst.op == Opcode::Ret && dyn.taken) {
+        // Return targets come from the return address stack; a stale
+        // or underflowed RAS costs a full front-end restart.
+        auto predicted = ras.pop();
+        if (predicted && *predicted == dyn.nextPc) {
+            ++pipeStats.rasHits;
+            fetchReady = std::max(fetchReady, cycle + cfg.takenBubble);
+        } else {
+            ++pipeStats.rasMisses;
+            fetchReady = std::max(
+                fetchReady, cycle + 1 + cfg.mispredictPenalty);
+        }
+    } else if (dyn.isControl && dyn.taken) {
+        // Correctly predicted (or unconditional) taken transfer:
+        // redirect bubble, larger when the BTB lacks the target.
+        if (inst.op == Opcode::Call)
+            ras.push(dyn.pc + 1);
+        auto predicted_target = btb.lookup(dyn.pc);
+        unsigned bubble = cfg.takenBubble;
+        if (!predicted_target || *predicted_target != dyn.nextPc) {
+            ++pipeStats.btbMisses;
+            bubble += cfg.btbMissPenalty;
+        }
+        btb.update(dyn.pc, dyn.nextPc);
+        fetchReady = std::max(fetchReady, cycle + bubble);
+    }
+
+    ++pipeStats.insts;
+    pipeStats.cycles = std::max(pipeStats.cycles, done);
+}
+
+const PipelineStats &
+Pipeline::run(Emulator &emu, std::uint64_t max_insts)
+{
+    DynInst dyn;
+    std::uint64_t processed = 0;
+    while (processed < max_insts && emu.step(dyn)) {
+        issueOne(dyn);
+        ++processed;
+    }
+    pipeStats.cycles = std::max(pipeStats.cycles, cycle + 1);
+    return pipeStats;
+}
+
+} // namespace pabp

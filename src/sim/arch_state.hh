@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Architectural state of the predicated machine: general registers,
+ * predicate registers, data memory and the call stack.
+ */
+
+#ifndef PABP_SIM_ARCH_STATE_HH
+#define PABP_SIM_ARCH_STATE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace pabp {
+
+/**
+ * Full architectural state. r0 reads as zero and ignores writes; p0
+ * reads as true and ignores writes. Data memory is a flat word array;
+ * effective addresses are masked into range so execution is total and
+ * deterministic for any program.
+ */
+class ArchState
+{
+  public:
+    /** @param mem_words Size of data memory in 64-bit words
+     *         (rounded up to a power of two). */
+    explicit ArchState(std::size_t mem_words = 1u << 20);
+
+    std::int64_t readGpr(unsigned idx) const { return gpr[idx]; }
+
+    void
+    writeGpr(unsigned idx, std::int64_t value)
+    {
+        if (idx != 0)
+            gpr[idx] = value;
+    }
+
+    bool readPred(unsigned idx) const { return pred[idx]; }
+
+    void
+    writePred(unsigned idx, bool value)
+    {
+        if (idx != 0)
+            pred[idx] = value;
+    }
+
+    /** Mask an effective address into the memory range. */
+    std::size_t
+    maskAddr(std::int64_t addr) const
+    {
+        return static_cast<std::size_t>(addr) & (mem.size() - 1);
+    }
+
+    std::int64_t readMem(std::int64_t addr) const
+    {
+        return mem[maskAddr(addr)];
+    }
+
+    void writeMem(std::int64_t addr, std::int64_t value)
+    {
+        mem[maskAddr(addr)] = value;
+    }
+
+    std::size_t memWords() const { return mem.size(); }
+
+    /** Reset registers, predicates, pc and call stack; keep memory. */
+    void resetRegs();
+
+    /** Equality over registers + predicates + memory (for the
+     *  if-conversion equivalence property tests). */
+    bool sameArchOutcome(const ArchState &other) const;
+
+    std::uint32_t pc = 0;
+    bool halted = false;
+    std::vector<std::uint32_t> callStack;
+
+  private:
+    std::array<std::int64_t, numGprs> gpr{};
+    std::array<bool, numPredRegs> pred{};
+    std::vector<std::int64_t> mem;
+};
+
+} // namespace pabp
+
+#endif // PABP_SIM_ARCH_STATE_HH

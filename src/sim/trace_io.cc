@@ -1,0 +1,177 @@
+#include "sim/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace pabp {
+
+namespace {
+
+constexpr char traceMagic[8] = {'P', 'A', 'B', 'P', 'T', 'R', 'C', '1'};
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T value{};
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+    if (!is)
+        pabp_panic("truncated trace stream");
+    return value;
+}
+
+} // anonymous namespace
+
+DynInst
+RecordedTrace::materialise(std::size_t i) const
+{
+    const Event &event = events.at(i);
+    const Inst &inst = prog.insts.at(event.pc);
+
+    DynInst dyn;
+    dyn.seq = i;
+    dyn.pc = event.pc;
+    dyn.inst = &inst;
+    dyn.guard = event.flags & 1;
+    dyn.taken = (event.flags >> 1) & 1;
+    dyn.isControl = inst.isControl();
+    dyn.nextPc = event.nextPc;
+    dyn.numPredWrites = (event.flags >> 2) & 3;
+    for (unsigned w = 0; w < dyn.numPredWrites; ++w) {
+        dyn.predWrites[w].reg = event.predReg[w];
+        dyn.predWrites[w].value = (event.predVal >> w) & 1;
+    }
+    dyn.cmpRel = (event.predVal >> 2) & 1;
+    dyn.isMem = inst.op == Opcode::Load || inst.op == Opcode::Store;
+    return dyn;
+}
+
+RecordedTrace
+recordTrace(Emulator &emu, std::uint64_t max_insts)
+{
+    RecordedTrace trace;
+    trace.prog = emu.program();
+
+    DynInst dyn;
+    for (std::uint64_t i = 0; i < max_insts && emu.step(dyn); ++i) {
+        RecordedTrace::Event event{};
+        event.pc = dyn.pc;
+        event.flags = static_cast<std::uint8_t>(
+            (dyn.guard ? 1 : 0) | (dyn.taken ? 2 : 0) |
+            (dyn.numPredWrites << 2));
+        for (unsigned w = 0; w < dyn.numPredWrites; ++w) {
+            event.predReg[w] = dyn.predWrites[w].reg;
+            if (dyn.predWrites[w].value)
+                event.predVal |= static_cast<std::uint8_t>(1u << w);
+        }
+        if (dyn.cmpRel)
+            event.predVal |= 4;
+        event.nextPc = dyn.nextPc;
+        trace.events.push_back(event);
+    }
+    return trace;
+}
+
+std::uint64_t
+writeTrace(const RecordedTrace &trace, std::ostream &os)
+{
+    std::uint64_t bytes = 0;
+    os.write(traceMagic, sizeof(traceMagic));
+    bytes += sizeof(traceMagic);
+
+    auto num_insts = static_cast<std::uint64_t>(trace.prog.size());
+    writePod(os, num_insts);
+    bytes += sizeof(num_insts);
+    for (const Inst &inst : trace.prog.insts) {
+        EncodedInst enc = encode(inst);
+        writePod(os, enc.word0);
+        writePod(os, enc.word1);
+        // regionId travels as a sidecar (not architectural encoding).
+        writePod(os, inst.regionId);
+        bytes += 2 * sizeof(std::uint64_t) + sizeof(inst.regionId);
+    }
+
+    auto num_events = static_cast<std::uint64_t>(trace.events.size());
+    writePod(os, num_events);
+    bytes += sizeof(num_events);
+    for (const RecordedTrace::Event &event : trace.events) {
+        writePod(os, event.pc);
+        writePod(os, event.flags);
+        writePod(os, event.predReg[0]);
+        writePod(os, event.predReg[1]);
+        writePod(os, event.predVal);
+        writePod(os, event.nextPc);
+        bytes += 12;
+    }
+    return bytes;
+}
+
+RecordedTrace
+readTrace(std::istream &is)
+{
+    char magic[8];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, traceMagic, sizeof(magic)) != 0)
+        pabp_fatal("not a pabp trace (bad magic)");
+
+    RecordedTrace trace;
+    auto num_insts = readPod<std::uint64_t>(is);
+    trace.prog.insts.reserve(num_insts);
+    for (std::uint64_t i = 0; i < num_insts; ++i) {
+        EncodedInst enc;
+        enc.word0 = readPod<std::uint64_t>(is);
+        enc.word1 = readPod<std::uint64_t>(is);
+        Inst inst = decode(enc);
+        inst.regionId = readPod<std::int32_t>(is);
+        trace.prog.insts.push_back(inst);
+    }
+
+    auto num_events = readPod<std::uint64_t>(is);
+    trace.events.reserve(num_events);
+    for (std::uint64_t i = 0; i < num_events; ++i) {
+        RecordedTrace::Event event{};
+        event.pc = readPod<std::uint32_t>(is);
+        event.flags = readPod<std::uint8_t>(is);
+        event.predReg[0] = readPod<std::uint8_t>(is);
+        event.predReg[1] = readPod<std::uint8_t>(is);
+        event.predVal = readPod<std::uint8_t>(is);
+        event.nextPc = readPod<std::uint32_t>(is);
+        if (event.pc >= trace.prog.size())
+            pabp_fatal("trace event pc out of range");
+        trace.events.push_back(event);
+    }
+    return trace;
+}
+
+void
+saveTraceFile(const RecordedTrace &trace, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        pabp_fatal("cannot open trace file for writing: " + path);
+    writeTrace(trace, os);
+    if (!os)
+        pabp_fatal("write failure on trace file: " + path);
+}
+
+RecordedTrace
+loadTraceFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        pabp_fatal("cannot open trace file: " + path);
+    return readTrace(is);
+}
+
+} // namespace pabp

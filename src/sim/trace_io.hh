@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Binary trace serialisation. A recorded trace captures everything a
+ * prediction study needs from the dynamic stream - static instruction
+ * table plus per-instruction events - so expensive workloads can be
+ * emulated once and replayed against many predictor configurations
+ * (the record/replay methodology of trace-driven studies).
+ *
+ * Format (little-endian, versioned):
+ *   header: magic "PABPTRC1", program size, instruction records
+ *   then one compact event record per executed instruction.
+ */
+
+#ifndef PABP_SIM_TRACE_IO_HH
+#define PABP_SIM_TRACE_IO_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/emulator.hh"
+
+namespace pabp {
+
+/** A fully materialised trace: program text + dynamic events. */
+struct RecordedTrace
+{
+    Program prog;
+
+    /** Compact per-instruction dynamic record. */
+    struct Event
+    {
+        std::uint32_t pc;
+        std::uint8_t flags; ///< bit0 guard, bit1 taken, bits 2-3
+                            ///< numPredWrites
+        std::uint8_t predReg[2];
+        std::uint8_t predVal; ///< bit0/bit1 = write values, bit2 cmpRel
+        std::uint32_t nextPc;
+
+        bool operator==(const Event &) const = default;
+    };
+    std::vector<Event> events;
+
+    std::size_t size() const { return events.size(); }
+
+    /** Reconstitute the DynInst for event @p i (seq = i). */
+    DynInst materialise(std::size_t i) const;
+};
+
+/** Record up to @p max_insts instructions of @p emu. */
+RecordedTrace recordTrace(Emulator &emu, std::uint64_t max_insts);
+
+/** Serialise to a stream. Returns bytes written. */
+std::uint64_t writeTrace(const RecordedTrace &trace, std::ostream &os);
+
+/**
+ * Deserialise. Fatal on bad magic/version; panics on truncation.
+ */
+RecordedTrace readTrace(std::istream &is);
+
+/** Convenience file wrappers (fatal on I/O failure). */
+void saveTraceFile(const RecordedTrace &trace, const std::string &path);
+RecordedTrace loadTraceFile(const std::string &path);
+
+} // namespace pabp
+
+#endif // PABP_SIM_TRACE_IO_HH

@@ -1,0 +1,27 @@
+#include "util/logging.hh"
+
+namespace pabp {
+
+void
+logMessage(const char *severity, const std::string &msg, const char *file,
+           int line)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", severity, msg.c_str(), file,
+                 line);
+}
+
+void
+panicImpl(const std::string &msg, const char *file, int line)
+{
+    logMessage("panic", msg, file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg, const char *file, int line)
+{
+    logMessage("fatal", msg, file, line);
+    std::exit(1);
+}
+
+} // namespace pabp

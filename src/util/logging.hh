@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  - internal invariant violated; aborts.
+ * fatal()  - user/configuration error; exits with status 1.
+ * warn()   - non-fatal diagnostic on stderr.
+ */
+
+#ifndef PABP_UTIL_LOGGING_HH
+#define PABP_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pabp {
+
+/** Print a formatted message with a severity prefix to stderr. */
+void logMessage(const char *severity, const std::string &msg,
+                const char *file, int line);
+
+/** Abort with a message; use for violated internal invariants. */
+[[noreturn]] void panicImpl(const std::string &msg, const char *file,
+                            int line);
+
+/** Exit(1) with a message; use for user/config errors. */
+[[noreturn]] void fatalImpl(const std::string &msg, const char *file,
+                            int line);
+
+} // namespace pabp
+
+#define pabp_panic(msg) ::pabp::panicImpl((msg), __FILE__, __LINE__)
+#define pabp_fatal(msg) ::pabp::fatalImpl((msg), __FILE__, __LINE__)
+#define pabp_warn(msg) ::pabp::logMessage("warn", (msg), __FILE__, __LINE__)
+
+/**
+ * Invariant check that stays on in release builds. Simulator results
+ * silently corrupted by a skipped assert are worse than the cost of
+ * the branch.
+ */
+#define pabp_assert(cond)                                                   \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            pabp_panic("assertion failed: " #cond);                        \
+    } while (0)
+
+#endif // PABP_UTIL_LOGGING_HH

@@ -1,0 +1,97 @@
+#include "util/options.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace pabp {
+
+void
+Options::declare(const std::string &name, const std::string &default_value,
+                 const std::string &help)
+{
+    pabp_assert(!decls.count(name));
+    decls[name] = Decl{default_value, help};
+    order.push_back(name);
+}
+
+bool
+Options::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printHelp(argv[0]);
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0)
+            pabp_fatal("unexpected argument: " + arg);
+        arg = arg.substr(2);
+
+        std::string name, value;
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else {
+            name = arg;
+            bool next_is_value = i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0;
+            if (next_is_value && decls.count(name)) {
+                value = argv[++i];
+            } else {
+                value = "1"; // bare flag
+            }
+        }
+        if (!decls.count(name))
+            pabp_fatal("unknown option: --" + name);
+        values[name] = value;
+    }
+    return true;
+}
+
+std::string
+Options::str(const std::string &name) const
+{
+    auto it = values.find(name);
+    if (it != values.end())
+        return it->second;
+    auto d = decls.find(name);
+    if (d == decls.end())
+        pabp_fatal("undeclared option queried: " + name);
+    return d->second.defaultValue;
+}
+
+std::int64_t
+Options::integer(const std::string &name) const
+{
+    return std::strtoll(str(name).c_str(), nullptr, 0);
+}
+
+double
+Options::real(const std::string &name) const
+{
+    return std::strtod(str(name).c_str(), nullptr);
+}
+
+bool
+Options::flag(const std::string &name) const
+{
+    std::string v = str(name);
+    return v == "1" || v == "true" || v == "yes";
+}
+
+void
+Options::printHelp(const std::string &program) const
+{
+    std::printf("usage: %s [--option=value ...]\n\noptions:\n",
+                program.c_str());
+    for (const auto &name : order) {
+        const Decl &d = decls.at(name);
+        std::printf("  --%-24s %s (default: %s)\n", name.c_str(),
+                    d.help.c_str(), d.defaultValue.c_str());
+    }
+}
+
+} // namespace pabp

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal command-line option parser shared by the bench and example
+ * binaries. Supports --name=value and --name value, with typed
+ * accessors and defaults, plus --help text generation.
+ */
+
+#ifndef PABP_UTIL_OPTIONS_HH
+#define PABP_UTIL_OPTIONS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pabp {
+
+/** Declarative command-line options with defaults. */
+class Options
+{
+  public:
+    /** Declare an option before parsing. */
+    void declare(const std::string &name, const std::string &default_value,
+                 const std::string &help);
+
+    /**
+     * Parse argv. Unknown options are fatal. Returns false when
+     * --help was requested (help text printed to stdout).
+     */
+    bool parse(int argc, const char *const *argv);
+
+    std::string str(const std::string &name) const;
+    std::int64_t integer(const std::string &name) const;
+    double real(const std::string &name) const;
+    bool flag(const std::string &name) const;
+
+    /** Print declared options and defaults. */
+    void printHelp(const std::string &program) const;
+
+  private:
+    struct Decl
+    {
+        std::string defaultValue;
+        std::string help;
+    };
+
+    std::map<std::string, Decl> decls;
+    std::map<std::string, std::string> values;
+    std::vector<std::string> order;
+};
+
+} // namespace pabp
+
+#endif // PABP_UTIL_OPTIONS_HH

@@ -1,0 +1,85 @@
+#include "util/stats.hh"
+
+#include "util/logging.hh"
+
+namespace pabp {
+
+Histogram::Histogram(std::size_t num_buckets, std::uint64_t bucket_width)
+    : buckets(num_buckets, 0), width(bucket_width)
+{
+    pabp_assert(num_buckets > 0 && bucket_width > 0);
+}
+
+void
+Histogram::sample(std::uint64_t value)
+{
+    std::size_t idx = static_cast<std::size_t>(value / width);
+    if (idx < buckets.size())
+        ++buckets[idx];
+    else
+        ++overflow;
+    ++total;
+    sum += value;
+}
+
+double
+Histogram::mean() const
+{
+    return total ? static_cast<double>(sum) / static_cast<double>(total)
+                 : 0.0;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets)
+        b = 0;
+    overflow = 0;
+    total = 0;
+    sum = 0;
+}
+
+void
+Histogram::print(std::ostream &os, const std::string &name) const
+{
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        os << name << "[" << i * width << "-" << ((i + 1) * width - 1)
+           << "] " << buckets[i] << "\n";
+    }
+    os << name << "[overflow] " << overflow << "\n";
+}
+
+Scalar &
+StatGroup::scalar(const std::string &name)
+{
+    return scalars[name];
+}
+
+std::uint64_t
+StatGroup::value(const std::string &name) const
+{
+    auto it = scalars.find(name);
+    return it == scalars.end() ? 0 : it->second.value();
+}
+
+double
+StatGroup::ratio(std::uint64_t a, std::uint64_t b)
+{
+    return b ? static_cast<double>(a) / static_cast<double>(b) : 0.0;
+}
+
+void
+StatGroup::print(std::ostream &os) const
+{
+    for (const auto &[name, stat] : scalars)
+        os << name << " " << stat.value() << "\n";
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &[name, stat] : scalars)
+        stat.reset();
+}
+
+} // namespace pabp

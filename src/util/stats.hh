@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Lightweight statistics primitives: named scalar counters grouped in
+ * a registry, ratio formatting, and fixed-bucket histograms. Modeled
+ * loosely on gem5's stats package but kept deliberately small.
+ */
+
+#ifndef PABP_UTIL_STATS_HH
+#define PABP_UTIL_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pabp {
+
+/** A named monotonically adjustable scalar statistic. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++val; return *this; }
+    Scalar &operator+=(std::uint64_t n) { val += n; return *this; }
+    void reset() { val = 0; }
+
+    std::uint64_t value() const { return val; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/**
+ * A histogram with uniform integer buckets plus an overflow bucket.
+ * Used for e.g. predicate define-to-branch distance distributions.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param num_buckets Number of uniform buckets.
+     * @param bucket_width Width of each bucket (>= 1).
+     */
+    Histogram(std::size_t num_buckets, std::uint64_t bucket_width);
+
+    /** Record one sample. */
+    void sample(std::uint64_t value);
+
+    std::uint64_t count() const { return total; }
+    double mean() const;
+    std::uint64_t bucketCount(std::size_t i) const { return buckets.at(i); }
+    std::uint64_t overflowCount() const { return overflow; }
+    std::size_t numBuckets() const { return buckets.size(); }
+    std::uint64_t bucketWidth() const { return width; }
+
+    /** Reset all buckets and counts. */
+    void reset();
+
+    /** Print "lo-hi: count" lines. */
+    void print(std::ostream &os, const std::string &name) const;
+
+  private:
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t width;
+    std::uint64_t overflow = 0;
+    std::uint64_t total = 0;
+    std::uint64_t sum = 0;
+};
+
+/**
+ * A registry of named scalar statistics. Components register their
+ * counters by dotted name ("fetch.branches"); harnesses dump them all.
+ */
+class StatGroup
+{
+  public:
+    /** Fetch-or-create a scalar by name. References stay valid. */
+    Scalar &scalar(const std::string &name);
+
+    /** Value of a named scalar, 0 when absent. */
+    std::uint64_t value(const std::string &name) const;
+
+    /** a/b as a double; 0 when b is 0. */
+    static double ratio(std::uint64_t a, std::uint64_t b);
+
+    /** Dump "name value" lines sorted by name. */
+    void print(std::ostream &os) const;
+
+    /** Reset all scalars to zero. */
+    void reset();
+
+    const std::map<std::string, Scalar> &all() const { return scalars; }
+
+  private:
+    std::map<std::string, Scalar> scalars;
+};
+
+} // namespace pabp
+
+#endif // PABP_UTIL_STATS_HH

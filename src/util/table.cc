@@ -1,0 +1,100 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace pabp {
+
+Table::Table(std::vector<std::string> column_names)
+    : header(std::move(column_names))
+{
+    pabp_assert(!header.empty());
+}
+
+void
+Table::startRow()
+{
+    rows.emplace_back();
+}
+
+void
+Table::cell(const std::string &text)
+{
+    pabp_assert(!rows.empty());
+    pabp_assert(rows.back().size() < header.size());
+    rows.back().push_back(text);
+}
+
+void
+Table::cell(std::uint64_t v)
+{
+    cell(std::to_string(v));
+}
+
+void
+Table::cell(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    cell(std::string(buf));
+}
+
+void
+Table::percentCell(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    cell(std::string(buf));
+}
+
+const std::string &
+Table::at(std::size_t row, std::size_t col) const
+{
+    return rows.at(row).at(col);
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (std::size_t c = 0; c < header.size(); ++c) {
+            const std::string &text = c < row.size() ? row[c] : "";
+            os << " " << text
+               << std::string(widths[c] - text.size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+
+    print_row(header);
+    os << "|";
+    for (std::size_t c = 0; c < header.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows)
+        print_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << row[c];
+        os << "\n";
+    };
+    print_row(header);
+    for (const auto &row : rows)
+        print_row(row);
+}
+
+} // namespace pabp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Result-table formatting for the benchmark harnesses. Each experiment
+ * binary builds a Table and prints it as aligned text (the paper-style
+ * view) and optionally as CSV for downstream plotting.
+ */
+
+#ifndef PABP_UTIL_TABLE_HH
+#define PABP_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pabp {
+
+/** A simple row/column table of strings with helpers for numbers. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> column_names);
+
+    /** Begin a new row; subsequent cell() calls fill it left to right. */
+    void startRow();
+
+    /** Append a string cell to the current row. */
+    void cell(const std::string &text);
+
+    /** Append an integer cell. */
+    void cell(std::uint64_t v);
+
+    /** Append a floating cell with fixed decimals. */
+    void cell(double v, int decimals = 3);
+
+    /** Append a percentage cell ("12.34%") from a fraction in [0,1]. */
+    void percentCell(double fraction, int decimals = 2);
+
+    std::size_t numRows() const { return rows.size(); }
+    std::size_t numCols() const { return header.size(); }
+
+    /** Cell text by position (for tests). */
+    const std::string &at(std::size_t row, std::size_t col) const;
+
+    /** Print as an aligned, pipe-separated table. */
+    void print(std::ostream &os) const;
+
+    /** Print as CSV. */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace pabp
+
+#endif // PABP_UTIL_TABLE_HH

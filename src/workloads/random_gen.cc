@@ -1,0 +1,241 @@
+#include "workloads/random_gen.hh"
+
+#include "sim/arch_state.hh"
+#include "util/rng.hh"
+
+namespace pabp {
+
+namespace {
+
+/** Data registers the generated code computes with. */
+constexpr unsigned dataRegBase = 16;
+constexpr unsigned dataRegCount = 24;
+/** Loop counter registers (one per generated loop, never reused). */
+constexpr unsigned counterRegBase = 48;
+constexpr unsigned counterRegCount = 13;
+
+class RandomBuilder
+{
+  public:
+    RandomBuilder(IrFunction &fn, std::uint64_t seed,
+                  const RandomProgramConfig &config)
+        : builder(fn), rng(seed * 0x9e3779b97f4a7c15ull + 1), cfg(config)
+    {}
+
+    void
+    build()
+    {
+        // r62 is the outer repeat counter; r63 untouched.
+        constexpr unsigned repeat_reg = 62;
+        BlockId entry = builder.newBlock();
+        BlockId outer_head = builder.newBlock();
+        BlockId chain = builder.newBlock();
+        BlockId done = builder.newBlock();
+
+        builder.setBlock(entry);
+        builder.append(makeMovImm(repeat_reg, cfg.repeats));
+        for (unsigned r = 0; r < 6; ++r) {
+            builder.append(makeMovImm(dataReg(),
+                                      static_cast<std::int64_t>(
+                                          rng.below(1024))));
+        }
+        builder.jump(outer_head);
+
+        builder.setBlock(outer_head);
+        builder.condBrImm(CmpRel::Gt, repeat_reg, 0, chain, done);
+
+        builder.setBlock(chain);
+        emitSeq(cfg.items, 0);
+        builder.append(makeAluImm(Opcode::Sub, repeat_reg, repeat_reg, 1));
+        builder.jump(outer_head);
+
+        builder.setBlock(done);
+        builder.halt();
+    }
+
+  private:
+    IrBuilder builder;
+    Rng rng;
+    RandomProgramConfig cfg;
+    unsigned countersUsed = 0;
+
+    unsigned
+    dataReg()
+    {
+        return dataRegBase + static_cast<unsigned>(
+            rng.below(dataRegCount));
+    }
+
+    CmpRel
+    randomRel()
+    {
+        static const CmpRel rels[] = {CmpRel::Eq, CmpRel::Ne, CmpRel::Lt,
+                                      CmpRel::Le, CmpRel::Gt, CmpRel::Ge,
+                                      CmpRel::Ltu, CmpRel::Geu};
+        return rels[rng.below(8)];
+    }
+
+    /** Append one random body instruction to the current block. */
+    void
+    appendRandomOp()
+    {
+        static const Opcode ops[] = {Opcode::Add, Opcode::Sub,
+                                     Opcode::Mul, Opcode::And,
+                                     Opcode::Or, Opcode::Xor,
+                                     Opcode::Shl, Opcode::Shr};
+        std::uint64_t kind = rng.below(10);
+        if (kind < 7) {
+            Opcode op = ops[rng.below(8)];
+            unsigned dst = dataReg();
+            unsigned src = dataReg();
+            if (rng.chance(0.5)) {
+                std::int64_t imm = static_cast<std::int64_t>(
+                    rng.below(64));
+                if (op == Opcode::Shl || op == Opcode::Shr)
+                    imm &= 7;
+                builder.append(makeAluImm(op, dst, src, imm));
+            } else {
+                unsigned src2 = dataReg();
+                // Unmasked shifts by register are legal (the emulator
+                // masks the count), so no special case needed.
+                builder.append(makeAlu(op, dst, src, src2));
+            }
+        } else {
+            // Bounded memory access: mask an address register first.
+            unsigned addr = dataReg();
+            unsigned val = dataReg();
+            builder.append(makeAluImm(Opcode::And, addr, addr,
+                                      cfg.dataWindow - 1));
+            if (kind < 9)
+                builder.append(makeLoad(val, addr, 0));
+            else
+                builder.append(makeStore(addr, 0, val));
+        }
+    }
+
+    void
+    emitStraight()
+    {
+        unsigned count = 1 + static_cast<unsigned>(rng.below(4));
+        for (unsigned i = 0; i < count; ++i)
+            appendRandomOp();
+    }
+
+    /** Emit 1-2 body ops then transfer to @p join. */
+    void
+    fillArm(BlockId arm, BlockId join, unsigned depth)
+    {
+        builder.setBlock(arm);
+        if (depth < cfg.maxLoopDepth && rng.chance(0.25))
+            emitSeq(1, depth + 1);
+        else
+            emitStraight();
+        builder.jump(join);
+    }
+
+    void
+    emitDiamond(unsigned depth)
+    {
+        BlockId then_b = builder.newBlock();
+        BlockId else_b = builder.newBlock();
+        BlockId join = builder.newBlock();
+        std::int64_t imm = static_cast<std::int64_t>(rng.below(512));
+        builder.condBrImm(randomRel(), dataReg(), imm, then_b, else_b);
+        BlockId resume_then = then_b, resume_else = else_b;
+        fillArm(resume_then, join, depth);
+        fillArm(resume_else, join, depth);
+        builder.setBlock(join);
+    }
+
+    void
+    emitTriangle(unsigned depth)
+    {
+        BlockId body = builder.newBlock();
+        BlockId join = builder.newBlock();
+        std::int64_t imm = static_cast<std::int64_t>(rng.below(512));
+        builder.condBrImm(randomRel(), dataReg(), imm, body, join);
+        fillArm(body, join, depth);
+        builder.setBlock(join);
+    }
+
+    void
+    emitLoop(unsigned depth)
+    {
+        if (countersUsed >= counterRegCount)
+            return emitStraight();
+        unsigned ctr = counterRegBase + countersUsed++;
+        std::int64_t trips =
+            1 + static_cast<std::int64_t>(rng.below(5));
+
+        BlockId head = builder.newBlock();
+        BlockId body = builder.newBlock();
+        BlockId exit = builder.newBlock();
+
+        builder.append(makeMovImm(ctr, trips));
+        builder.jump(head);
+
+        builder.setBlock(head);
+        builder.condBrImm(CmpRel::Gt, ctr, 0, body, exit);
+
+        builder.setBlock(body);
+        emitSeq(1 + rng.below(2), depth + 1);
+        // Occasional data-dependent break: a side edge out of the
+        // loop that if-conversion turns into a region-based branch.
+        if (rng.chance(0.4)) {
+            BlockId cont = builder.newBlock();
+            std::int64_t imm =
+                static_cast<std::int64_t>(rng.below(512));
+            builder.condBrImm(randomRel(), dataReg(), imm, exit, cont);
+            builder.setBlock(cont);
+            emitStraight();
+        }
+        builder.append(makeAluImm(Opcode::Sub, ctr, ctr, 1));
+        builder.jump(head);
+
+        builder.setBlock(exit);
+    }
+
+    /** Emit @p items structural items into the current block chain. */
+    void
+    emitSeq(unsigned items, unsigned depth)
+    {
+        for (unsigned i = 0; i < items; ++i) {
+            std::uint64_t roll = rng.below(100);
+            if (roll < 35) {
+                emitStraight();
+            } else if (roll < 60) {
+                emitDiamond(depth);
+            } else if (roll < 80) {
+                emitTriangle(depth);
+            } else if (depth < cfg.maxLoopDepth) {
+                emitLoop(depth);
+            } else {
+                emitStraight();
+            }
+        }
+    }
+};
+
+} // anonymous namespace
+
+Workload
+makeRandomWorkload(std::uint64_t seed, const RandomProgramConfig &config)
+{
+    Workload wl;
+    wl.name = "random-" + std::to_string(seed);
+    wl.fn.name = wl.name;
+
+    RandomBuilder rb(wl.fn, seed, config);
+    rb.build();
+
+    std::int64_t window = config.dataWindow;
+    wl.init = [seed, window](ArchState &state) {
+        Rng rng(seed ^ 0xf00du);
+        for (std::int64_t i = 0; i < window; ++i)
+            state.writeMem(i, static_cast<std::int64_t>(rng.below(4096)));
+    };
+    wl.defaultSteps = 1'000'000;
+    return wl;
+}
+
+} // namespace pabp

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Random structured-program generator used by the property-test
+ * suites (and the fuzz bench): produces arbitrary but *always
+ * halting* CFG programs by composing straight-line code, diamonds,
+ * triangles and counted loops. Every program is a valid IrFunction,
+ * so it can be run through both lowering modes and compared - the
+ * backbone of the if-conversion equivalence property test.
+ */
+
+#ifndef PABP_WORKLOADS_RANDOM_GEN_HH
+#define PABP_WORKLOADS_RANDOM_GEN_HH
+
+#include <cstdint>
+
+#include "workloads/workload.hh"
+
+namespace pabp {
+
+/** Knobs for the random generator. */
+struct RandomProgramConfig
+{
+    /** Rough number of structural items (blocks scale with this). */
+    unsigned items = 12;
+    /** Maximum loop nesting. */
+    unsigned maxLoopDepth = 2;
+    /** Probability that a diamond's sides are skewed cold/hot. */
+    double skewChance = 0.4;
+    /** Memory words touched by generated loads/stores. */
+    std::int64_t dataWindow = 4096;
+    /** The whole program body repeats this many times, so profiles
+     *  see hot blocks and regions actually form. */
+    std::int64_t repeats = 60;
+};
+
+/**
+ * Build a random structured workload from a seed. Deterministic:
+ * equal seeds and configs give identical programs and inputs.
+ */
+Workload makeRandomWorkload(std::uint64_t seed,
+                            const RandomProgramConfig &config =
+                                RandomProgramConfig{});
+
+} // namespace pabp
+
+#endif // PABP_WORKLOADS_RANDOM_GEN_HH

@@ -1,0 +1,597 @@
+/**
+ * @file
+ * Suite members 1-5: bsort, bsearch, histogram, interp, dchain.
+ * Memory maps and register conventions are documented per workload.
+ */
+
+#include "workloads/workload.hh"
+
+#include "sim/arch_state.hh"
+#include "util/rng.hh"
+
+namespace pabp {
+
+namespace {
+
+/** In-program LCG step: r <- r * 1103515245 + 12345 (two body ops). */
+void
+appendLcg(IrBuilder &b, unsigned reg)
+{
+    b.append(makeAluImm(Opcode::Mul, reg, reg, 1103515245));
+    b.append(makeAluImm(Opcode::Add, reg, reg, 12345));
+}
+
+/** Counter bump at mem[base_reg + offset] using scratch register. */
+void
+appendCounterBump(IrBuilder &b, unsigned base_reg, std::int64_t offset,
+                  unsigned scratch)
+{
+    b.append(makeLoad(scratch, base_reg, offset));
+    b.append(makeAluImm(Opcode::Add, scratch, scratch, 1));
+    b.append(makeStore(base_reg, offset, scratch));
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// bsort: repeated bubble sort of a small array the program refills
+// from an LCG each round. The swap test is the classic data-dependent
+// diamond that if-conversion eliminates completely.
+//
+// regs: r1=i r2=j r3=N r4=a[j] r5=a[j+1] r6=inner limit r7=N-1
+//       r8=repeat counter r9=lcg state
+// mem:  a[0..N-1] at 0
+// ---------------------------------------------------------------------
+Workload
+makeBsort(std::uint64_t seed)
+{
+    constexpr std::int64_t n = 64;
+    constexpr std::int64_t repeats = 120;
+
+    Workload wl;
+    wl.name = "bsort";
+    wl.fn.name = "bsort";
+    IrBuilder b(wl.fn);
+
+    BlockId entry = b.newBlock();
+    BlockId rep_head = b.newBlock();
+    BlockId fill_init = b.newBlock();
+    BlockId fill_head = b.newBlock();
+    BlockId fill_body = b.newBlock();
+    BlockId outer_init = b.newBlock();
+    BlockId outer_head = b.newBlock();
+    BlockId inner_init = b.newBlock();
+    BlockId inner_head = b.newBlock();
+    BlockId test = b.newBlock();
+    BlockId swap = b.newBlock();
+    BlockId inner_latch = b.newBlock();
+    BlockId outer_latch = b.newBlock();
+    BlockId rep_latch = b.newBlock();
+    BlockId done = b.newBlock();
+
+    b.setBlock(entry);
+    b.append(makeMovImm(3, n));
+    b.append(makeMovImm(7, n - 1));
+    b.append(makeMovImm(8, repeats));
+    b.append(makeMovImm(9, static_cast<std::int64_t>(seed | 1)));
+    b.jump(rep_head);
+
+    b.setBlock(rep_head);
+    b.condBrImm(CmpRel::Gt, 8, 0, fill_init, done);
+
+    b.setBlock(fill_init);
+    b.append(makeMovImm(1, 0));
+    b.jump(fill_head);
+
+    b.setBlock(fill_head);
+    b.condBr(CmpRel::Lt, 1, 3, fill_body, outer_init);
+
+    b.setBlock(fill_body);
+    appendLcg(b, 9);
+    b.append(makeAluImm(Opcode::Shr, 4, 9, 16));
+    b.append(makeAluImm(Opcode::And, 4, 4, 1023));
+    b.append(makeStore(1, 0, 4));
+    b.append(makeAluImm(Opcode::Add, 1, 1, 1));
+    b.jump(fill_head);
+
+    b.setBlock(outer_init);
+    b.append(makeMovImm(1, 0));
+    b.jump(outer_head);
+
+    b.setBlock(outer_head);
+    b.condBr(CmpRel::Lt, 1, 7, inner_init, rep_latch);
+
+    b.setBlock(inner_init);
+    b.append(makeMovImm(2, 0));
+    b.append(makeAlu(Opcode::Sub, 6, 7, 1));
+    b.jump(inner_head);
+
+    b.setBlock(inner_head);
+    b.condBr(CmpRel::Lt, 2, 6, test, outer_latch);
+
+    b.setBlock(test);
+    b.append(makeLoad(4, 2, 0));
+    b.append(makeLoad(5, 2, 1));
+    b.condBr(CmpRel::Gt, 4, 5, swap, inner_latch);
+
+    b.setBlock(swap);
+    b.append(makeStore(2, 0, 5));
+    b.append(makeStore(2, 1, 4));
+    b.jump(inner_latch);
+
+    b.setBlock(inner_latch);
+    b.append(makeAluImm(Opcode::Add, 2, 2, 1));
+    b.jump(inner_head);
+
+    b.setBlock(outer_latch);
+    b.append(makeAluImm(Opcode::Add, 1, 1, 1));
+    b.jump(outer_head);
+
+    b.setBlock(rep_latch);
+    b.append(makeAluImm(Opcode::Sub, 8, 8, 1));
+    b.jump(rep_head);
+
+    b.setBlock(done);
+    b.halt();
+
+    wl.init = nullptr; // the program generates its own data
+    wl.defaultSteps = 8'000'000;
+    return wl;
+}
+
+// ---------------------------------------------------------------------
+// bsearch: repeated binary searches with LCG keys over a sorted table
+// the program fills with a[i] = 2*i. The descend decision is a
+// data-dependent coin flip - hard for every predictor - and its lo/hi
+// update diamond if-converts completely (both exits rejoin the loop).
+//
+// regs: r1=lo r2=hi r3=N r4=mid r5=a[mid] r8=queries r9=lcg r10=key
+//       r11=result sink base
+// mem:  a[0..N-1] at 0, result sink at 4096
+// ---------------------------------------------------------------------
+Workload
+makeBsearch(std::uint64_t seed)
+{
+    constexpr std::int64_t n = 1024;
+    constexpr std::int64_t queries = 30000;
+
+    Workload wl;
+    wl.name = "bsearch";
+    wl.fn.name = "bsearch";
+    IrBuilder b(wl.fn);
+
+    BlockId entry = b.newBlock();
+    BlockId fill_head = b.newBlock();
+    BlockId fill_body = b.newBlock();
+    BlockId query_head = b.newBlock();
+    BlockId query_setup = b.newBlock();
+    BlockId search_head = b.newBlock();
+    BlockId probe = b.newBlock();
+    BlockId go_right = b.newBlock();
+    BlockId go_left = b.newBlock();
+    BlockId query_latch = b.newBlock();
+    BlockId done = b.newBlock();
+
+    b.setBlock(entry);
+    b.append(makeMovImm(3, n));
+    b.append(makeMovImm(8, queries));
+    b.append(makeMovImm(9, static_cast<std::int64_t>(seed | 1)));
+    b.append(makeMovImm(1, 0));
+    b.jump(fill_head);
+
+    b.setBlock(fill_head);
+    b.condBr(CmpRel::Lt, 1, 3, fill_body, query_head);
+
+    b.setBlock(fill_body);
+    b.append(makeAlu(Opcode::Add, 4, 1, 1)); // 2*i
+    b.append(makeStore(1, 0, 4));
+    b.append(makeAluImm(Opcode::Add, 1, 1, 1));
+    b.jump(fill_head);
+
+    b.setBlock(query_head);
+    b.condBrImm(CmpRel::Gt, 8, 0, query_setup, done);
+
+    b.setBlock(query_setup);
+    appendLcg(b, 9);
+    b.append(makeAluImm(Opcode::Shr, 10, 9, 16));
+    b.append(makeAluImm(Opcode::And, 10, 10, 2047));
+    b.append(makeMovImm(1, 0));
+    b.append(makeMov(2, 3));
+    b.jump(search_head);
+
+    b.setBlock(search_head);
+    b.condBr(CmpRel::Lt, 1, 2, probe, query_latch);
+
+    b.setBlock(probe);
+    b.append(makeAlu(Opcode::Add, 4, 1, 2));
+    b.append(makeAluImm(Opcode::Shr, 4, 4, 1));
+    b.append(makeLoad(5, 4, 0));
+    b.condBr(CmpRel::Lt, 5, 10, go_right, go_left);
+
+    b.setBlock(go_right);
+    b.append(makeAluImm(Opcode::Add, 1, 4, 1));
+    b.jump(search_head);
+
+    b.setBlock(go_left);
+    b.append(makeMov(2, 4));
+    b.jump(search_head);
+
+    b.setBlock(query_latch);
+    b.append(makeMovImm(11, 4096));
+    b.append(makeStore(11, 0, 1));
+    b.append(makeAluImm(Opcode::Sub, 8, 8, 1));
+    b.jump(query_head);
+
+    b.setBlock(done);
+    b.halt();
+
+    wl.init = nullptr;
+    wl.defaultSteps = 8'000'000;
+    return wl;
+}
+
+// ---------------------------------------------------------------------
+// histogram: bucket an input byte stream through a correlated range
+// chain (v<64 implies v<128 implies v<192) with an early rare test
+// (v==0, ~1/256). The rare test's predicate define sits at the region
+// top while its branch sinks to the bottom - the squash filter's best
+// case - and the range chain's region branch (v>=192 side exit when
+// the size budget cuts the region) correlates with earlier defines,
+// which is PGU's case.
+//
+// regs: r1=i r3=N r4=v r5=scratch r7=counter base r12=pass counter
+// mem:  data[0..N-1] at 0, counters at 8192+
+// ---------------------------------------------------------------------
+Workload
+makeHistogram(std::uint64_t seed)
+{
+    constexpr std::int64_t n = 8192;
+    constexpr std::int64_t counter_base = 8192;
+    constexpr std::int64_t passes = 10;
+
+    Workload wl;
+    wl.name = "histogram";
+    wl.fn.name = "histogram";
+    IrBuilder b(wl.fn);
+
+    BlockId entry = b.newBlock();
+    BlockId pass_head = b.newBlock();
+    BlockId pass_init = b.newBlock();
+    BlockId head = b.newBlock();
+    BlockId load = b.newBlock();
+    BlockId chain0 = b.newBlock();
+    BlockId h0 = b.newBlock();
+    BlockId c1 = b.newBlock();
+    BlockId h1 = b.newBlock();
+    BlockId c2 = b.newBlock();
+    BlockId h2 = b.newBlock();
+    BlockId h3 = b.newBlock();
+    BlockId latch = b.newBlock();
+    BlockId zero_handler = b.newBlock();
+    BlockId pass_latch = b.newBlock();
+    BlockId done = b.newBlock();
+
+    b.setBlock(entry);
+    b.append(makeMovImm(3, n));
+    b.append(makeMovImm(7, counter_base));
+    b.append(makeMovImm(12, passes));
+    b.jump(pass_head);
+
+    b.setBlock(pass_head);
+    b.condBrImm(CmpRel::Gt, 12, 0, pass_init, done);
+
+    b.setBlock(pass_init);
+    b.append(makeMovImm(1, 0));
+    b.jump(head);
+
+    b.setBlock(head);
+    b.condBr(CmpRel::Lt, 1, 3, load, pass_latch);
+
+    b.setBlock(load);
+    b.append(makeLoad(4, 1, 0));
+    b.condBrImm(CmpRel::Eq, 4, 0, zero_handler, chain0);
+
+    b.setBlock(chain0);
+    b.condBrImm(CmpRel::Lt, 4, 64, h0, c1);
+
+    b.setBlock(h0);
+    appendCounterBump(b, 7, 0, 5);
+    b.jump(latch);
+
+    b.setBlock(c1);
+    b.condBrImm(CmpRel::Lt, 4, 128, h1, c2);
+
+    b.setBlock(h1);
+    appendCounterBump(b, 7, 1, 5);
+    b.jump(latch);
+
+    b.setBlock(c2);
+    b.condBrImm(CmpRel::Lt, 4, 192, h2, h3);
+
+    b.setBlock(h2);
+    appendCounterBump(b, 7, 2, 5);
+    b.jump(latch);
+
+    b.setBlock(h3);
+    appendCounterBump(b, 7, 3, 5);
+    b.jump(latch);
+
+    b.setBlock(latch);
+    b.append(makeAluImm(Opcode::Add, 1, 1, 1));
+    b.jump(head);
+
+    b.setBlock(zero_handler);
+    appendCounterBump(b, 7, 4, 5);
+    b.jump(latch);
+
+    b.setBlock(pass_latch);
+    b.append(makeAluImm(Opcode::Sub, 12, 12, 1));
+    b.jump(pass_head);
+
+    b.setBlock(done);
+    b.halt();
+
+    wl.init = [seed](ArchState &state) {
+        Rng rng(seed ^ 0x1157u);
+        for (std::int64_t i = 0; i < n; ++i)
+            state.writeMem(i, static_cast<std::int64_t>(rng.below(256)));
+    };
+    wl.defaultSteps = 8'000'000;
+    return wl;
+}
+
+// ---------------------------------------------------------------------
+// interp: a bytecode dispatch chain over a skewed opcode stream
+// (0 and 1 hot, the tail cold). The hot handlers join a hyperblock;
+// the cold tail of the chain becomes a side exit - a region-based
+// branch whose outcome correlates with the earlier equality defines.
+//
+// regs: r1=pc r3=N r4=op r5=acc r6=x r12=pass counter
+// mem:  code[0..N-1] at 0, trap sink at 30000
+// ---------------------------------------------------------------------
+Workload
+makeInterp(std::uint64_t seed)
+{
+    constexpr std::int64_t n = 16384;
+    constexpr std::int64_t passes = 8;
+    constexpr std::int64_t trap_addr = 30000;
+
+    Workload wl;
+    wl.name = "interp";
+    wl.fn.name = "interp";
+    IrBuilder b(wl.fn);
+
+    BlockId entry = b.newBlock();
+    BlockId pass_head = b.newBlock();
+    BlockId pass_init = b.newBlock();
+    BlockId head = b.newBlock();
+    BlockId fetch = b.newBlock();
+    BlockId op_add = b.newBlock();
+    BlockId d1 = b.newBlock();
+    BlockId op_sub = b.newBlock();
+    BlockId d2 = b.newBlock();
+    BlockId op_xor = b.newBlock();
+    BlockId d3 = b.newBlock();
+    BlockId op_inc = b.newBlock();
+    BlockId d4 = b.newBlock();   // cold dispatch tail
+    BlockId op_mul = b.newBlock();
+    BlockId op_trap = b.newBlock();
+    BlockId latch = b.newBlock();
+    BlockId pass_latch = b.newBlock();
+    BlockId done = b.newBlock();
+
+    b.setBlock(entry);
+    b.append(makeMovImm(3, n));
+    b.append(makeMovImm(5, 0));
+    b.append(makeMovImm(6, 7));
+    b.append(makeMovImm(12, passes));
+    b.jump(pass_head);
+
+    b.setBlock(pass_head);
+    b.condBrImm(CmpRel::Gt, 12, 0, pass_init, done);
+
+    b.setBlock(pass_init);
+    b.append(makeMovImm(1, 0));
+    b.jump(head);
+
+    b.setBlock(head);
+    b.condBr(CmpRel::Lt, 1, 3, fetch, pass_latch);
+
+    b.setBlock(fetch);
+    b.append(makeLoad(4, 1, 0));
+    b.condBrImm(CmpRel::Eq, 4, 0, op_add, d1);
+
+    b.setBlock(op_add);
+    b.append(makeAlu(Opcode::Add, 5, 5, 6));
+    b.jump(latch);
+
+    b.setBlock(d1);
+    b.condBrImm(CmpRel::Eq, 4, 1, op_sub, d2);
+
+    b.setBlock(op_sub);
+    b.append(makeAlu(Opcode::Sub, 5, 5, 6));
+    b.jump(latch);
+
+    b.setBlock(d2);
+    b.condBrImm(CmpRel::Eq, 4, 2, op_xor, d3);
+
+    b.setBlock(op_xor);
+    b.append(makeAlu(Opcode::Xor, 5, 5, 6));
+    b.jump(latch);
+
+    b.setBlock(d3);
+    b.condBrImm(CmpRel::Eq, 4, 3, op_inc, d4);
+
+    b.setBlock(op_inc);
+    b.append(makeAluImm(Opcode::Add, 5, 5, 1));
+    b.jump(latch);
+
+    b.setBlock(d4);
+    b.condBrImm(CmpRel::Eq, 4, 4, op_mul, op_trap);
+
+    b.setBlock(op_mul);
+    b.append(makeAluImm(Opcode::Mul, 5, 5, 3));
+    b.jump(latch);
+
+    b.setBlock(op_trap);
+    b.append(makeMovImm(10, trap_addr));
+    b.append(makeStore(10, 0, 5));
+    b.append(makeMovImm(5, 0));
+    b.jump(latch);
+
+    b.setBlock(latch);
+    b.append(makeAluImm(Opcode::Add, 1, 1, 1));
+    b.jump(head);
+
+    b.setBlock(pass_latch);
+    b.append(makeAluImm(Opcode::Sub, 12, 12, 1));
+    b.jump(pass_head);
+
+    b.setBlock(done);
+    b.halt();
+
+    wl.init = [seed](ArchState &state) {
+        Rng rng(seed ^ 0xbeadu);
+        for (std::int64_t i = 0; i < n; ++i) {
+            // Skewed opcode mix: 40/30/15/10/4/1 percent.
+            std::uint64_t roll = rng.below(100);
+            std::int64_t op;
+            if (roll < 40)
+                op = 0;
+            else if (roll < 70)
+                op = 1;
+            else if (roll < 85)
+                op = 2;
+            else if (roll < 95)
+                op = 3;
+            else if (roll < 99)
+                op = 4;
+            else
+                op = 5;
+            state.writeMem(i, op);
+        }
+    };
+    wl.defaultSteps = 8'000'000;
+    return wl;
+}
+
+// ---------------------------------------------------------------------
+// dchain: the PGU showcase. Per element, condition c1 = (v&7) < 4 and
+// c2 = (v&7) < 2 guard small diamonds; a third branch repeats c2's
+// test against a cold handler. After if-conversion c1/c2 vanish into
+// predicate defines, so a conventional global history cannot see the
+// correlation the third branch needs - PGU restores it.
+//
+// regs: r1=i r3=N r4=v r5=v&7 r6,r7=path temps r12=pass counter
+//       r10=counter base
+// mem:  data[0..N-1] at 0, outputs at 16384, counter at 30000
+// ---------------------------------------------------------------------
+Workload
+makeDchain(std::uint64_t seed)
+{
+    constexpr std::int64_t n = 8192;
+    constexpr std::int64_t out_base = 16384;
+    constexpr std::int64_t counter_addr = 30000;
+    constexpr std::int64_t passes = 12;
+
+    Workload wl;
+    wl.name = "dchain";
+    wl.fn.name = "dchain";
+    IrBuilder b(wl.fn);
+
+    BlockId entry = b.newBlock();
+    BlockId pass_head = b.newBlock();
+    BlockId pass_init = b.newBlock();
+    BlockId head = b.newBlock();
+    BlockId c1test = b.newBlock();
+    BlockId c1then = b.newBlock();
+    BlockId c1else = b.newBlock();
+    BlockId c2test = b.newBlock();
+    BlockId c2then = b.newBlock();
+    BlockId c2else = b.newBlock();
+    BlockId c3test = b.newBlock();
+    BlockId handler = b.newBlock();
+    BlockId latch = b.newBlock();
+    BlockId pass_latch = b.newBlock();
+    BlockId done = b.newBlock();
+
+    b.setBlock(entry);
+    b.append(makeMovImm(3, n));
+    b.append(makeMovImm(10, counter_addr));
+    b.append(makeMovImm(12, passes));
+    b.jump(pass_head);
+
+    b.setBlock(pass_head);
+    b.condBrImm(CmpRel::Gt, 12, 0, pass_init, done);
+
+    b.setBlock(pass_init);
+    b.append(makeMovImm(1, 0));
+    b.jump(head);
+
+    b.setBlock(head);
+    b.condBr(CmpRel::Lt, 1, 3, c1test, pass_latch);
+
+    b.setBlock(c1test);
+    b.append(makeLoad(4, 1, 0));
+    b.append(makeAluImm(Opcode::And, 5, 4, 7));
+    b.condBrImm(CmpRel::Lt, 5, 4, c1then, c1else);
+
+    b.setBlock(c1then);
+    b.append(makeAluImm(Opcode::Add, 6, 4, 13));
+    b.jump(c2test);
+
+    b.setBlock(c1else);
+    b.append(makeAluImm(Opcode::Sub, 6, 4, 7));
+    b.jump(c2test);
+
+    b.setBlock(c2test);
+    b.condBrImm(CmpRel::Lt, 5, 2, c2then, c2else);
+
+    // The then/else bodies carry real work so the c2 define lands
+    // far enough above the c3 branch for delayed history/predicate
+    // visibility to act (see EngineConfig::availDelay).
+    b.setBlock(c2then);
+    b.append(makeAluImm(Opcode::Mul, 7, 6, 3));
+    b.append(makeAluImm(Opcode::Xor, 7, 7, 0x55));
+    b.append(makeAluImm(Opcode::Add, 7, 7, 2));
+    b.jump(c3test);
+
+    b.setBlock(c2else);
+    b.append(makeAluImm(Opcode::Add, 7, 6, 1));
+    b.append(makeAluImm(Opcode::Shl, 7, 7, 1));
+    b.append(makeAluImm(Opcode::Sub, 7, 7, 5));
+    b.jump(c3test);
+
+    b.setBlock(c3test);
+    b.append(makeAluImm(Opcode::Add, 9, 1, out_base));
+    b.append(makeAluImm(Opcode::And, 13, 7, 1023));
+    b.append(makeAlu(Opcode::Add, 13, 13, 5));
+    b.append(makeStore(9, 0, 7));
+    // Same test as c2: fully determined by an earlier define.
+    b.condBrImm(CmpRel::Lt, 5, 2, handler, latch);
+
+    b.setBlock(handler);
+    appendCounterBump(b, 10, 0, 11);
+    b.jump(latch);
+
+    b.setBlock(latch);
+    b.append(makeAluImm(Opcode::Add, 1, 1, 1));
+    b.jump(head);
+
+    b.setBlock(pass_latch);
+    b.append(makeAluImm(Opcode::Sub, 12, 12, 1));
+    b.jump(pass_head);
+
+    b.setBlock(done);
+    b.halt();
+
+    wl.init = [seed](ArchState &state) {
+        Rng rng(seed ^ 0xdcdcu);
+        for (std::int64_t i = 0; i < n; ++i)
+            state.writeMem(i, static_cast<std::int64_t>(rng.below(256)));
+    };
+    wl.defaultSteps = 8'000'000;
+    return wl;
+}
+
+} // namespace pabp

@@ -1,0 +1,546 @@
+/**
+ * @file
+ * Suite members 6-10: matrix, rle, filter, listwalk, fsm.
+ */
+
+#include "workloads/workload.hh"
+
+#include "sim/arch_state.hh"
+#include "util/rng.hh"
+
+namespace pabp {
+
+// ---------------------------------------------------------------------
+// matrix: dense-times-sparse matrix multiply where the inner loop
+// skips zero elements of A (~40%). The zero test is a data-dependent
+// diamond; the inner-loop trip test becomes a biased region branch.
+//
+// regs: r1=i r2=k r3=n r4=j r5=a r6=bval r7=acc r8..r11 addr temps
+//       r12=row base of A, r13 = C index
+// mem:  A at 0 (n*n), B at 1024, C at 2048
+// ---------------------------------------------------------------------
+Workload
+makeMatrix(std::uint64_t seed)
+{
+    constexpr std::int64_t n = 12;
+    constexpr std::int64_t b_base = 1024;
+    constexpr std::int64_t c_base = 2048;
+    constexpr std::int64_t rounds = 140;
+
+    Workload wl;
+    wl.name = "matrix";
+    wl.fn.name = "matrix";
+    IrBuilder b(wl.fn);
+
+    BlockId entry = b.newBlock();
+    BlockId round_head = b.newBlock();
+    BlockId i_init = b.newBlock();
+    BlockId i_head = b.newBlock();
+    BlockId j_init = b.newBlock();
+    BlockId j_head = b.newBlock();
+    BlockId k_init = b.newBlock();
+    BlockId k_head = b.newBlock();
+    BlockId k_test = b.newBlock();
+    BlockId k_mult = b.newBlock();
+    BlockId k_latch = b.newBlock();
+    BlockId j_latch = b.newBlock();
+    BlockId i_latch = b.newBlock();
+    BlockId round_latch = b.newBlock();
+    BlockId done = b.newBlock();
+
+    b.setBlock(entry);
+    b.append(makeMovImm(3, n));
+    b.append(makeMovImm(14, rounds));
+    b.jump(round_head);
+
+    b.setBlock(round_head);
+    b.condBrImm(CmpRel::Gt, 14, 0, i_init, done);
+
+    b.setBlock(i_init);
+    b.append(makeMovImm(1, 0));
+    b.jump(i_head);
+
+    b.setBlock(i_head);
+    b.condBr(CmpRel::Lt, 1, 3, j_init, round_latch);
+
+    b.setBlock(j_init);
+    b.append(makeMovImm(4, 0));
+    b.append(makeAluImm(Opcode::Mul, 12, 1, n)); // row base of A
+    b.jump(j_head);
+
+    b.setBlock(j_head);
+    b.condBr(CmpRel::Lt, 4, 3, k_init, i_latch);
+
+    b.setBlock(k_init);
+    b.append(makeMovImm(2, 0));
+    b.append(makeMovImm(7, 0));
+    b.jump(k_head);
+
+    b.setBlock(k_head);
+    b.condBr(CmpRel::Lt, 2, 3, k_test, j_latch);
+
+    b.setBlock(k_test);
+    b.append(makeAlu(Opcode::Add, 8, 12, 2));  // &A[i][k]
+    b.append(makeLoad(5, 8, 0));
+    b.condBrImm(CmpRel::Eq, 5, 0, k_latch, k_mult);
+
+    b.setBlock(k_mult);
+    b.append(makeAluImm(Opcode::Mul, 9, 2, n));
+    b.append(makeAlu(Opcode::Add, 9, 9, 4));   // k*n + j
+    b.append(makeLoad(6, 9, b_base));
+    b.append(makeAlu(Opcode::Mul, 6, 5, 6));
+    b.append(makeAlu(Opcode::Add, 7, 7, 6));
+    b.jump(k_latch);
+
+    b.setBlock(k_latch);
+    b.append(makeAluImm(Opcode::Add, 2, 2, 1));
+    b.jump(k_head);
+
+    b.setBlock(j_latch);
+    b.append(makeAlu(Opcode::Add, 13, 12, 4)); // i*n + j
+    b.append(makeStore(13, c_base, 7));
+    b.append(makeAluImm(Opcode::Add, 4, 4, 1));
+    b.jump(j_head);
+
+    b.setBlock(i_latch);
+    b.append(makeAluImm(Opcode::Add, 1, 1, 1));
+    b.jump(i_head);
+
+    b.setBlock(round_latch);
+    b.append(makeAluImm(Opcode::Sub, 14, 14, 1));
+    b.jump(round_head);
+
+    b.setBlock(done);
+    b.halt();
+
+    wl.init = [seed](ArchState &state) {
+        Rng rng(seed ^ 0x3a3au);
+        for (std::int64_t i = 0; i < n * n; ++i) {
+            bool zero = rng.chance(0.4);
+            state.writeMem(i, zero ? 0 : static_cast<std::int64_t>(
+                                             rng.below(100) + 1));
+            state.writeMem(b_base + i,
+                           static_cast<std::int64_t>(rng.below(100)));
+        }
+    };
+    wl.defaultSteps = 8'000'000;
+    return wl;
+}
+
+// ---------------------------------------------------------------------
+// rle: run-length encode a bursty stream. The run-continuation branch
+// is strongly autocorrelated (runs), the close-run path writes out a
+// token; the whole diamond if-converts.
+//
+// regs: r1=i r3=N r4=a[i] r5=a[i-1] r6=runlen r7=out idx
+//       r12=pass counter
+// mem:  data at 0, tokens at 32768
+// ---------------------------------------------------------------------
+Workload
+makeRle(std::uint64_t seed)
+{
+    constexpr std::int64_t n = 16384;
+    constexpr std::int64_t out_base = 32768;
+    constexpr std::int64_t passes = 10;
+
+    Workload wl;
+    wl.name = "rle";
+    wl.fn.name = "rle";
+    IrBuilder b(wl.fn);
+
+    BlockId entry = b.newBlock();
+    BlockId pass_head = b.newBlock();
+    BlockId pass_init = b.newBlock();
+    BlockId head = b.newBlock();
+    BlockId body = b.newBlock();
+    BlockId cont = b.newBlock();
+    BlockId close = b.newBlock();
+    BlockId latch = b.newBlock();
+    BlockId pass_latch = b.newBlock();
+    BlockId done = b.newBlock();
+
+    b.setBlock(entry);
+    b.append(makeMovImm(3, n));
+    b.append(makeMovImm(12, passes));
+    b.jump(pass_head);
+
+    b.setBlock(pass_head);
+    b.condBrImm(CmpRel::Gt, 12, 0, pass_init, done);
+
+    b.setBlock(pass_init);
+    b.append(makeMovImm(1, 1));
+    b.append(makeMovImm(6, 1));
+    b.append(makeMovImm(7, 0));
+    b.jump(head);
+
+    b.setBlock(head);
+    b.condBr(CmpRel::Lt, 1, 3, body, pass_latch);
+
+    b.setBlock(body);
+    b.append(makeLoad(4, 1, 0));
+    b.append(makeLoad(5, 1, -1));
+    b.condBr(CmpRel::Eq, 4, 5, cont, close);
+
+    b.setBlock(cont);
+    b.append(makeAluImm(Opcode::Add, 6, 6, 1));
+    b.jump(latch);
+
+    b.setBlock(close);
+    b.append(makeAlu(Opcode::Add, 9, 7, 0));
+    b.append(makeStore(9, out_base, 6));
+    b.append(makeAluImm(Opcode::Add, 7, 7, 1));
+    b.append(makeMovImm(6, 1));
+    b.jump(latch);
+
+    b.setBlock(latch);
+    b.append(makeAluImm(Opcode::Add, 1, 1, 1));
+    b.jump(head);
+
+    b.setBlock(pass_latch);
+    b.append(makeAluImm(Opcode::Sub, 12, 12, 1));
+    b.jump(pass_head);
+
+    b.setBlock(done);
+    b.halt();
+
+    wl.init = [seed](ArchState &state) {
+        Rng rng(seed ^ 0x41e5u);
+        std::int64_t i = 0;
+        while (i < n) {
+            std::int64_t value = static_cast<std::int64_t>(rng.below(64));
+            std::int64_t run = 1 + static_cast<std::int64_t>(rng.below(12));
+            for (std::int64_t r = 0; r < run && i < n; ++r, ++i)
+                state.writeMem(i, value);
+        }
+    };
+    wl.defaultSteps = 8'000'000;
+    return wl;
+}
+
+// ---------------------------------------------------------------------
+// filter: range-filter a stream with an early rare tag test. The tag
+// branch's define lands at the region top and the branch sinks to the
+// bottom: prime squash-filter territory. The two range tests are
+// correlated with each other and with the data distribution.
+//
+// regs: r1=i r3=N r4=v r7=out idx r8=tag idx r12=pass counter
+// mem:  data at 0, filtered at 32768, tags at 49152
+// ---------------------------------------------------------------------
+Workload
+makeFilter(std::uint64_t seed)
+{
+    constexpr std::int64_t n = 16384;
+    constexpr std::int64_t out_base = 32768;
+    constexpr std::int64_t tag_base = 49152;
+    constexpr std::int64_t tag_value = 12345;
+    constexpr std::int64_t passes = 10;
+
+    Workload wl;
+    wl.name = "filter";
+    wl.fn.name = "filter";
+    IrBuilder b(wl.fn);
+
+    BlockId entry = b.newBlock();
+    BlockId pass_head = b.newBlock();
+    BlockId pass_init = b.newBlock();
+    BlockId head = b.newBlock();
+    BlockId tag_test = b.newBlock();
+    BlockId range1 = b.newBlock();
+    BlockId range2 = b.newBlock();
+    BlockId keep = b.newBlock();
+    BlockId latch = b.newBlock();
+    BlockId tag_handler = b.newBlock();
+    BlockId pass_latch = b.newBlock();
+    BlockId done = b.newBlock();
+
+    b.setBlock(entry);
+    b.append(makeMovImm(3, n));
+    b.append(makeMovImm(12, passes));
+    b.append(makeMovImm(7, 0));
+    b.append(makeMovImm(8, 0));
+    b.jump(pass_head);
+
+    b.setBlock(pass_head);
+    b.condBrImm(CmpRel::Gt, 12, 0, pass_init, done);
+
+    b.setBlock(pass_init);
+    b.append(makeMovImm(1, 0));
+    b.jump(head);
+
+    b.setBlock(head);
+    b.condBr(CmpRel::Lt, 1, 3, tag_test, pass_latch);
+
+    b.setBlock(tag_test);
+    b.append(makeLoad(4, 1, 0));
+    b.condBrImm(CmpRel::Eq, 4, tag_value, tag_handler, range1);
+
+    b.setBlock(range1);
+    b.condBrImm(CmpRel::Gt, 4, 300, range2, latch);
+
+    b.setBlock(range2);
+    b.condBrImm(CmpRel::Lt, 4, 800, keep, latch);
+
+    b.setBlock(keep);
+    b.append(makeAlu(Opcode::Add, 9, 7, 0));
+    b.append(makeStore(9, out_base, 4));
+    b.append(makeAluImm(Opcode::Add, 7, 7, 1));
+    b.append(makeAluImm(Opcode::And, 7, 7, 8191));
+    b.jump(latch);
+
+    b.setBlock(latch);
+    b.append(makeAluImm(Opcode::Add, 1, 1, 1));
+    b.jump(head);
+
+    b.setBlock(tag_handler);
+    b.append(makeAlu(Opcode::Add, 9, 8, 0));
+    b.append(makeStore(9, tag_base, 1));
+    b.append(makeAluImm(Opcode::Add, 8, 8, 1));
+    b.append(makeAluImm(Opcode::And, 8, 8, 1023));
+    b.jump(latch);
+
+    b.setBlock(pass_latch);
+    b.append(makeAluImm(Opcode::Sub, 12, 12, 1));
+    b.jump(pass_head);
+
+    b.setBlock(done);
+    b.halt();
+
+    wl.init = [seed](ArchState &state) {
+        Rng rng(seed ^ 0xf117u);
+        for (std::int64_t i = 0; i < n; ++i) {
+            std::int64_t v = static_cast<std::int64_t>(rng.below(1000));
+            if (rng.below(503) == 0)
+                v = tag_value;
+            state.writeMem(i, v);
+        }
+    };
+    wl.defaultSteps = 8'000'000;
+    return wl;
+}
+
+// ---------------------------------------------------------------------
+// listwalk: pointer-chase a shuffled linked list, testing each node's
+// payload parity. Next-pointer loads feed the loop branch late - the
+// pipeline model feels this - and the parity diamond if-converts.
+//
+// regs: r1=node ptr r4=value r5=parity r6=sum r8=walks
+// mem:  nodes at 0, two words each: [next, value]; sum sink at 60000
+// ---------------------------------------------------------------------
+Workload
+makeListwalk(std::uint64_t seed)
+{
+    constexpr std::int64_t nodes = 4096;
+    constexpr std::int64_t walks = 40;
+    constexpr std::int64_t sink = 60000;
+
+    Workload wl;
+    wl.name = "listwalk";
+    wl.fn.name = "listwalk";
+    IrBuilder b(wl.fn);
+
+    BlockId entry = b.newBlock();
+    BlockId walk_head = b.newBlock();
+    BlockId walk_init = b.newBlock();
+    BlockId node_head = b.newBlock();
+    BlockId node_body = b.newBlock();
+    BlockId odd = b.newBlock();
+    BlockId even = b.newBlock();
+    BlockId advance = b.newBlock();
+    BlockId walk_latch = b.newBlock();
+    BlockId done = b.newBlock();
+
+    b.setBlock(entry);
+    b.append(makeMovImm(8, walks));
+    b.append(makeMovImm(6, 0));
+    b.jump(walk_head);
+
+    b.setBlock(walk_head);
+    b.condBrImm(CmpRel::Gt, 8, 0, walk_init, done);
+
+    b.setBlock(walk_init);
+    b.append(makeMovImm(1, 2)); // first node at address 2 (0 = null)
+    b.jump(node_head);
+
+    b.setBlock(node_head);
+    b.condBrImm(CmpRel::Ne, 1, 0, node_body, walk_latch);
+
+    b.setBlock(node_body);
+    b.append(makeLoad(4, 1, 1));
+    b.append(makeAluImm(Opcode::And, 5, 4, 1));
+    b.condBrImm(CmpRel::Eq, 5, 1, odd, even);
+
+    b.setBlock(odd);
+    b.append(makeAlu(Opcode::Add, 6, 6, 4));
+    b.jump(advance);
+
+    b.setBlock(even);
+    b.append(makeAluImm(Opcode::Sub, 6, 6, 1));
+    b.jump(advance);
+
+    b.setBlock(advance);
+    b.append(makeLoad(1, 1, 0));
+    b.jump(node_head);
+
+    b.setBlock(walk_latch);
+    b.append(makeMovImm(9, sink));
+    b.append(makeStore(9, 0, 6));
+    b.append(makeAluImm(Opcode::Sub, 8, 8, 1));
+    b.jump(walk_head);
+
+    b.setBlock(done);
+    b.halt();
+
+    wl.init = [seed](ArchState &state) {
+        Rng rng(seed ^ 0x715bu);
+        // A random permutation threaded through node slots. Node i
+        // lives at address 2 + 2*i; slot 0/1 hold next/value.
+        std::vector<std::int64_t> order(nodes);
+        for (std::int64_t i = 0; i < nodes; ++i)
+            order[i] = i;
+        for (std::int64_t i = nodes - 1; i > 0; --i) {
+            std::int64_t j = static_cast<std::int64_t>(
+                rng.below(static_cast<std::uint64_t>(i + 1)));
+            std::swap(order[i], order[j]);
+        }
+        // The walk starts at address 2 = node 0's slot, so node 0
+        // must be first in traversal order.
+        for (std::int64_t i = 0; i < nodes; ++i) {
+            if (order[i] == 0) {
+                std::swap(order[0], order[i]);
+                break;
+            }
+        }
+        for (std::int64_t i = 0; i < nodes; ++i) {
+            std::int64_t addr = 2 + 2 * order[i];
+            std::int64_t next =
+                i + 1 < nodes ? 2 + 2 * order[i + 1] : 0;
+            state.writeMem(addr, next);
+            state.writeMem(addr + 1,
+                           static_cast<std::int64_t>(rng.below(1000)));
+        }
+    };
+    wl.defaultSteps = 8'000'000;
+    return wl;
+}
+
+// ---------------------------------------------------------------------
+// fsm: a table-driven automaton over a biased symbol stream. The
+// state-dependent branches follow the automaton's structure, giving
+// history predictors something to chew on; the reset path is rare.
+//
+// regs: r1=i r2=state r3=N r4=sym r5=index r6=resets r7=acc
+//       r12=pass counter
+// mem:  symbols at 0, transition table at 32768 (8 states x 4 syms),
+//       sinks at 60000
+// ---------------------------------------------------------------------
+Workload
+makeFsm(std::uint64_t seed)
+{
+    constexpr std::int64_t n = 16384;
+    constexpr std::int64_t table_base = 32768;
+    constexpr std::int64_t sink = 60000;
+    constexpr std::int64_t passes = 10;
+
+    Workload wl;
+    wl.name = "fsm";
+    wl.fn.name = "fsm";
+    IrBuilder b(wl.fn);
+
+    BlockId entry = b.newBlock();
+    BlockId pass_head = b.newBlock();
+    BlockId pass_init = b.newBlock();
+    BlockId head = b.newBlock();
+    BlockId step = b.newBlock();
+    BlockId reset_path = b.newBlock();
+    BlockId live_path = b.newBlock();
+    BlockId high_test = b.newBlock();
+    BlockId high = b.newBlock();
+    BlockId low = b.newBlock();
+    BlockId latch = b.newBlock();
+    BlockId pass_latch = b.newBlock();
+    BlockId done = b.newBlock();
+
+    b.setBlock(entry);
+    b.append(makeMovImm(3, n));
+    b.append(makeMovImm(2, 1));
+    b.append(makeMovImm(12, passes));
+    b.jump(pass_head);
+
+    b.setBlock(pass_head);
+    b.condBrImm(CmpRel::Gt, 12, 0, pass_init, done);
+
+    b.setBlock(pass_init);
+    b.append(makeMovImm(1, 0));
+    b.jump(head);
+
+    b.setBlock(head);
+    b.condBr(CmpRel::Lt, 1, 3, step, pass_latch);
+
+    b.setBlock(step);
+    b.append(makeLoad(4, 1, 0));
+    b.append(makeAluImm(Opcode::Mul, 5, 2, 4));
+    b.append(makeAlu(Opcode::Add, 5, 5, 4));
+    b.append(makeLoad(2, 5, table_base));
+    b.condBrImm(CmpRel::Eq, 2, 0, reset_path, live_path);
+
+    b.setBlock(reset_path);
+    b.append(makeAluImm(Opcode::Add, 6, 6, 1));
+    b.append(makeMovImm(2, 1));
+    b.jump(high_test);
+
+    b.setBlock(live_path);
+    b.append(makeAlu(Opcode::Add, 7, 7, 2));
+    b.jump(high_test);
+
+    b.setBlock(high_test);
+    b.condBrImm(CmpRel::Gt, 2, 4, high, low);
+
+    b.setBlock(high);
+    b.append(makeAluImm(Opcode::Add, 7, 7, 3));
+    b.jump(latch);
+
+    b.setBlock(low);
+    b.append(makeAluImm(Opcode::Sub, 7, 7, 1));
+    b.jump(latch);
+
+    b.setBlock(latch);
+    b.append(makeAluImm(Opcode::Add, 1, 1, 1));
+    b.jump(head);
+
+    b.setBlock(pass_latch);
+    b.append(makeMovImm(9, sink));
+    b.append(makeStore(9, 0, 7));
+    b.append(makeStore(9, 1, 6));
+    b.append(makeAluImm(Opcode::Sub, 12, 12, 1));
+    b.jump(pass_head);
+
+    b.setBlock(done);
+    b.halt();
+
+    wl.init = [seed](ArchState &state) {
+        Rng rng(seed ^ 0x0f5au);
+        // Transition table: mostly forward motion, occasional reset.
+        for (std::int64_t s = 0; s < 8; ++s) {
+            for (std::int64_t c = 0; c < 4; ++c) {
+                std::int64_t next = (s + c + 1) % 8;
+                if (rng.below(16) == 0)
+                    next = 0;
+                state.writeMem(table_base + s * 4 + c, next);
+            }
+        }
+        // Symbol stream with first-order bias: repeat previous symbol
+        // with probability 0.6.
+        std::int64_t prev = 0;
+        for (std::int64_t i = 0; i < n; ++i) {
+            std::int64_t sym = rng.chance(0.6)
+                ? prev
+                : static_cast<std::int64_t>(rng.below(4));
+            state.writeMem(i, sym);
+            prev = sym;
+        }
+    };
+    wl.defaultSteps = 8'000'000;
+    return wl;
+}
+
+} // namespace pabp

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Assembler tests: every instruction form, labels, guards, errors,
+ * and the disassemble->assemble round-trip property over compiled
+ * workloads (the two tools must agree on the whole ISA surface).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "isa/assembler.hh"
+#include "sim/emulator.hh"
+#include "workloads/workload.hh"
+
+namespace pabp {
+namespace {
+
+Program
+mustAssemble(const std::string &source)
+{
+    AssembleResult result = assembleProgram(source);
+    EXPECT_TRUE(result.ok()) << result.error;
+    return result.prog;
+}
+
+TEST(Assembler, AluForms)
+{
+    Program p = mustAssemble(
+        "add r1 = r2, r3\n"
+        "sub r4 = r5, -7\n"
+        "(p3) mul r6 = r7, r8\n");
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.insts[0].op, Opcode::Add);
+    EXPECT_EQ(p.insts[0].dst, 1);
+    EXPECT_TRUE(p.insts[1].hasImm);
+    EXPECT_EQ(p.insts[1].imm, -7);
+    EXPECT_EQ(p.insts[2].qp, 3);
+}
+
+TEST(Assembler, MovForms)
+{
+    Program p = mustAssemble("mov r1 = 42\nmov r2 = r1\n");
+    EXPECT_TRUE(p.insts[0].hasImm);
+    EXPECT_EQ(p.insts[0].imm, 42);
+    EXPECT_FALSE(p.insts[1].hasImm);
+    EXPECT_EQ(p.insts[1].src1, 1);
+}
+
+TEST(Assembler, CmpForms)
+{
+    Program p = mustAssemble(
+        "cmp.eq p1, p2 = r3, r4\n"
+        "cmp.lt.unc p5, p6 = r7, 9\n"
+        "(p2) cmp.geu.or.andcm p8, p9 = r10, r11\n");
+    EXPECT_EQ(p.insts[0].ctype, CmpType::Normal);
+    EXPECT_EQ(p.insts[1].ctype, CmpType::Unc);
+    EXPECT_EQ(p.insts[1].crel, CmpRel::Lt);
+    EXPECT_TRUE(p.insts[1].hasImm);
+    EXPECT_EQ(p.insts[2].ctype, CmpType::OrAndcm);
+    EXPECT_EQ(p.insts[2].crel, CmpRel::Geu);
+    EXPECT_EQ(p.insts[2].qp, 2);
+}
+
+TEST(Assembler, MemoryForms)
+{
+    Program p = mustAssemble(
+        "ld r1 = [r2 + -4]\n"
+        "ld r3 = [r4]\n"
+        "st [r5 + 8] = r6\n"
+        "(p7) st [r8] = r9\n");
+    EXPECT_EQ(p.insts[0].imm, -4);
+    EXPECT_EQ(p.insts[1].imm, 0);
+    EXPECT_EQ(p.insts[2].op, Opcode::Store);
+    EXPECT_EQ(p.insts[3].qp, 7);
+}
+
+TEST(Assembler, LabelsForwardAndBackward)
+{
+    Program p = mustAssemble(
+        "start:\n"
+        "  mov r1 = 1\n"
+        "  (p1) br done\n"
+        "  br start\n"
+        "done: halt\n");
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p.insts[1].target, 3u);
+    EXPECT_EQ(p.insts[2].target, 0u);
+}
+
+TEST(Assembler, NumericTargets)
+{
+    Program p = mustAssemble("br 2\nnop\nhalt\n");
+    EXPECT_EQ(p.insts[0].target, 2u);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    Program p = mustAssemble(
+        "; a comment\n"
+        "\n"
+        "  mov r1 = 5 ; trailing comment\n"
+        "halt\n");
+    ASSERT_EQ(p.size(), 2u);
+}
+
+TEST(Assembler, ErrorsAreReportedWithLineNumbers)
+{
+    EXPECT_NE(assembleProgram("bogus r1 = r2\n").error.find("line 1"),
+              std::string::npos);
+    EXPECT_FALSE(assembleProgram("mov r99 = 1\n").ok());
+    EXPECT_FALSE(assembleProgram("add r1 = r2\n").ok());   // missing src2
+    EXPECT_FALSE(assembleProgram("br nowhere\nhalt\n").ok());
+    EXPECT_FALSE(assembleProgram("x: nop\nx: nop\n").ok()); // dup label
+    EXPECT_FALSE(assembleProgram("mov r1 = 1 garbage\n").ok());
+}
+
+TEST(Assembler, AssembledProgramRuns)
+{
+    Program p = mustAssemble(
+        "  mov r1 = 10\n"
+        "  mov r2 = 0\n"
+        "loop:\n"
+        "  cmp.gt.unc p1, p2 = r1, 0\n"
+        "  (p2) br done\n"
+        "  add r2 = r2, r1\n"
+        "  sub r1 = r1, 1\n"
+        "  br loop\n"
+        "done: halt\n");
+    ASSERT_EQ(validateProgram(p), "");
+    Emulator emu(p, EmuConfig{1 << 10, 10000});
+    emu.run(10000);
+    EXPECT_TRUE(emu.state().halted);
+    EXPECT_EQ(emu.state().readGpr(2), 55); // sum 1..10
+}
+
+/** Strip "N:\t" PC prefixes and region annotations from a listing. */
+std::string
+listingToSource(const std::string &listing)
+{
+    std::istringstream in(listing);
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(in, line)) {
+        auto colon = line.find(":\t");
+        if (colon != std::string::npos)
+            line = line.substr(colon + 2);
+        out << line << "\n";
+    }
+    return out.str();
+}
+
+class AsmRoundTrip : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(AsmRoundTrip, DisassembleAssembleIsIdentity)
+{
+    // Both compilation modes exercise the full instruction surface.
+    for (bool if_convert : {false, true}) {
+        Workload wl = makeWorkload(GetParam(), 7);
+        CompileOptions copts;
+        copts.ifConvert = if_convert;
+        CompiledProgram cp = compileWorkload(wl, copts);
+
+        AssembleResult back =
+            assembleProgram(listingToSource(cp.prog.disassembleAll()));
+        ASSERT_TRUE(back.ok()) << back.error;
+        ASSERT_EQ(back.prog.size(), cp.prog.size());
+        for (std::size_t pc = 0; pc < cp.prog.size(); ++pc) {
+            // Compare semantic encodings (metadata is not part of
+            // the textual syntax beyond comments).
+            Inst expect = cp.prog.insts[pc];
+            expect.regionId = -1;
+            expect.regionBranch = false;
+            Inst got = back.prog.insts[pc];
+            got.regionBranch = false;
+            EXPECT_EQ(encode(got), encode(expect))
+                << GetParam() << " pc " << pc << ": "
+                << disassemble(cp.prog.insts[pc]);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, AsmRoundTrip,
+                         ::testing::ValuesIn(workloadNames()));
+
+} // namespace
+} // namespace pabp

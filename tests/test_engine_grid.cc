@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Cross-configuration invariant grid: every combination of
+ * (workload, SFPF, PGU, availability delay) must satisfy the
+ * engine's accounting invariants. This is the broad safety net over
+ * the whole configuration space the experiments sample from.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bpred/factory.hh"
+#include "core/engine.hh"
+#include "workloads/workload.hh"
+
+namespace pabp {
+namespace {
+
+using GridParam = std::tuple<std::string, bool, bool, unsigned>;
+
+class EngineGrid : public ::testing::TestWithParam<GridParam>
+{};
+
+TEST_P(EngineGrid, AccountingInvariantsHold)
+{
+    const auto &[name, sfpf, pgu, delay] = GetParam();
+
+    Workload wl = makeWorkload(name, 7);
+    CompileOptions copts;
+    CompiledProgram cp = compileWorkload(wl, copts);
+    PredictorPtr pred = makePredictor("gshare", 11);
+    EngineConfig ecfg;
+    ecfg.useSfpf = sfpf;
+    ecfg.usePgu = pgu;
+    ecfg.availDelay = delay;
+    ecfg.pgu.delay = delay;
+    PredictionEngine engine(*pred, ecfg);
+    Emulator emu(cp.prog);
+    if (wl.init)
+        wl.init(emu.state());
+    runTrace(emu, engine, 250000);
+
+    const EngineStats &s = engine.stats();
+
+    // Class decomposition is exact.
+    EXPECT_EQ(s.all.branches, s.region.branches + s.normal.branches);
+    EXPECT_EQ(s.all.taken, s.region.taken + s.normal.taken);
+    EXPECT_EQ(s.all.mispredicts,
+              s.region.mispredicts + s.normal.mispredicts);
+    EXPECT_EQ(s.all.squashed, s.region.squashed + s.normal.squashed);
+    EXPECT_EQ(s.all.falseGuard,
+              s.region.falseGuard + s.normal.falseGuard);
+
+    // Counts are bounded by their populations.
+    EXPECT_LE(s.all.mispredicts, s.all.branches);
+    EXPECT_LE(s.all.taken, s.all.branches);
+    EXPECT_LE(s.all.squashed, s.all.falseGuard); // 100% accuracy
+    EXPECT_LE(s.all.branches + s.uncondBranches, s.insts);
+
+    // Techniques only act when armed.
+    if (!sfpf) {
+        EXPECT_EQ(s.all.squashed, 0u);
+    }
+    if (!pgu) {
+        EXPECT_EQ(engine.pguBitsInserted(), 0u);
+    }
+    if (pgu) {
+        EXPECT_LE(engine.pguBitsInserted(), s.predicateDefines);
+    }
+
+    // Taken branches can never have had a false guard.
+    EXPECT_LE(s.all.taken, s.all.branches - s.all.falseGuard);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineGrid,
+    ::testing::Combine(
+        ::testing::Values("histogram", "dchain", "filter", "bsearch",
+                          "interp"),
+        ::testing::Bool(), ::testing::Bool(),
+        ::testing::Values(0u, 8u, 32u)),
+    [](const ::testing::TestParamInfo<GridParam> &info) {
+        return std::get<0>(info.param) +
+            (std::get<1>(info.param) ? "_sfpf" : "_nosfpf") +
+            (std::get<2>(info.param) ? "_pgu" : "_nopgu") + "_d" +
+            std::to_string(std::get<3>(info.param));
+    });
+
+} // namespace
+} // namespace pabp

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The central correctness property of the compiler substrate:
+ * if-conversion preserves program semantics. For every workload in
+ * the suite and for a battery of random structured programs, the
+ * branchy and the if-converted binaries must halt with identical
+ * general registers and memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "sim/emulator.hh"
+#include "workloads/random_gen.hh"
+#include "workloads/workload.hh"
+
+namespace pabp {
+namespace {
+
+constexpr std::uint64_t runBudget = 40'000'000;
+
+struct RunResult
+{
+    ArchState state;
+    std::uint64_t insts;
+    bool halted;
+
+    RunResult(std::size_t mem) : state(mem), insts(0), halted(false) {}
+};
+
+RunResult
+runToHalt(const Program &prog, const StateInit &init)
+{
+    EmuConfig cfg;
+    cfg.memWords = 1 << 16;
+    cfg.maxInsts = runBudget;
+    Emulator emu(prog, cfg);
+    if (init)
+        init(emu.state());
+    emu.run(runBudget);
+    RunResult result(1);
+    result.state = emu.state();
+    result.insts = emu.instsExecuted();
+    result.halted = emu.state().halted;
+    return result;
+}
+
+/** Assert branchy and if-converted versions agree. */
+void
+expectEquivalent(Workload wl)
+{
+    ASSERT_EQ(verifyFunction(wl.fn), "") << wl.name;
+
+    CompileOptions normal_opts;
+    normal_opts.ifConvert = false;
+    CompiledProgram normal = compileWorkload(wl, normal_opts);
+
+    CompileOptions conv_opts;
+    conv_opts.ifConvert = true;
+    CompiledProgram converted = compileWorkload(wl, conv_opts);
+
+    ASSERT_EQ(validateProgram(normal.prog), "") << wl.name;
+    ASSERT_EQ(validateProgram(converted.prog), "") << wl.name;
+
+    RunResult a = runToHalt(normal.prog, wl.init);
+    RunResult c = runToHalt(converted.prog, wl.init);
+
+    ASSERT_TRUE(a.halted) << wl.name << " branchy did not halt";
+    ASSERT_TRUE(c.halted) << wl.name << " if-converted did not halt";
+
+    for (unsigned r = 0; r < numGprs; ++r)
+        EXPECT_EQ(a.state.readGpr(r), c.state.readGpr(r))
+            << wl.name << " r" << r;
+    EXPECT_TRUE(a.state.sameArchOutcome(c.state)) << wl.name
+        << " memory/register divergence";
+}
+
+class SuiteEquivalence : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(SuiteEquivalence, IfConversionPreservesSemantics)
+{
+    expectEquivalent(makeWorkload(GetParam(), 77));
+}
+
+TEST_P(SuiteEquivalence, SecondSeedToo)
+{
+    expectEquivalent(makeWorkload(GetParam(), 20260706));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, SuiteEquivalence,
+                         ::testing::ValuesIn(workloadNames()));
+
+class RandomEquivalence : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RandomEquivalence, IfConversionPreservesSemantics)
+{
+    RandomProgramConfig cfg;
+    cfg.items = 10;
+    expectEquivalent(makeRandomWorkload(GetParam(), cfg));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+TEST(RandomEquivalence, LargerProgramsAndDeeperNesting)
+{
+    RandomProgramConfig cfg;
+    cfg.items = 24;
+    cfg.maxLoopDepth = 3;
+    for (std::uint64_t seed = 100; seed < 108; ++seed)
+        expectEquivalent(makeRandomWorkload(seed, cfg));
+}
+
+TEST(RandomEquivalence, AggressiveHeuristics)
+{
+    // Huge regions with permissive inclusion stress the predicate
+    // allocator and multi-merge or-accumulation paths.
+    RandomProgramConfig pcfg;
+    pcfg.items = 16;
+    for (std::uint64_t seed = 200; seed < 208; ++seed) {
+        Workload wl = makeRandomWorkload(seed, pcfg);
+        ASSERT_EQ(verifyFunction(wl.fn), "");
+
+        CompileOptions normal_opts;
+        normal_opts.ifConvert = false;
+        CompiledProgram normal = compileWorkload(wl, normal_opts);
+
+        CompileOptions conv_opts;
+        conv_opts.ifConvert = true;
+        conv_opts.heuristics.maxBlocks = 12;
+        conv_opts.heuristics.minWeightRatio = 0.0;
+        conv_opts.heuristics.minSeedExec = 1;
+        CompiledProgram converted = compileWorkload(wl, conv_opts);
+
+        RunResult a = runToHalt(normal.prog, wl.init);
+        RunResult c = runToHalt(converted.prog, wl.init);
+        ASSERT_TRUE(a.halted && c.halted) << wl.name;
+        EXPECT_TRUE(a.state.sameArchOutcome(c.state)) << wl.name;
+    }
+}
+
+TEST(Determinism, SameSeedSameDynamicCounts)
+{
+    Workload w1 = makeWorkload("filter", 5);
+    Workload w2 = makeWorkload("filter", 5);
+    CompileOptions opts;
+    CompiledProgram p1 = compileWorkload(w1, opts);
+    CompiledProgram p2 = compileWorkload(w2, opts);
+    ASSERT_EQ(p1.prog.size(), p2.prog.size());
+    RunResult a = runToHalt(p1.prog, w1.init);
+    RunResult b = runToHalt(p2.prog, w2.init);
+    EXPECT_EQ(a.insts, b.insts);
+    EXPECT_TRUE(a.state.sameArchOutcome(b.state));
+}
+
+} // namespace
+} // namespace pabp

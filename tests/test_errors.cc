@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Error-path tests: the panic/fatal discipline (gem5-style - panic
+ * for internal invariants, fatal for user errors) must actually fire
+ * on the documented conditions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/factory.hh"
+#include "isa/program.hh"
+#include "util/options.hh"
+#include "util/sat_counter.hh"
+
+namespace pabp {
+namespace {
+
+using ::testing::ExitedWithCode;
+using ::testing::KilledBySignal;
+
+TEST(ErrorPaths, EncodeRejectsOutOfRangeField)
+{
+    Inst inst = makeMovImm(1, 0);
+    inst.qp = 200; // beyond the 6-bit encoding space
+    EXPECT_DEATH((void)encode(inst), "assertion failed");
+}
+
+TEST(ErrorPaths, DecodeRejectsInvalidOpcode)
+{
+    EncodedInst enc;
+    enc.word0 = 0xff; // opcode field beyond NumOpcodes
+    EXPECT_DEATH((void)decode(enc), "invalid opcode");
+}
+
+TEST(ErrorPaths, UnknownPredictorIsFatal)
+{
+    EXPECT_EXIT((void)makePredictor("oracle", 10), ExitedWithCode(1),
+                "unknown predictor kind");
+}
+
+TEST(ErrorPaths, UnknownOptionIsFatal)
+{
+    Options opts;
+    opts.declare("steps", "1", "steps");
+    const char *argv[] = {"prog", "--bogus=1"};
+    EXPECT_EXIT((void)opts.parse(2, argv), ExitedWithCode(1),
+                "unknown option");
+}
+
+TEST(ErrorPaths, UndeclaredOptionQueryIsFatal)
+{
+    Options opts;
+    EXPECT_EXIT((void)opts.str("nope"), ExitedWithCode(1),
+                "undeclared option");
+}
+
+TEST(ErrorPaths, SatCounterWidthAsserted)
+{
+    EXPECT_DEATH(SatCounter c(0), "assertion failed");
+    EXPECT_DEATH(SatCounter c(9), "assertion failed");
+}
+
+} // namespace
+} // namespace pabp

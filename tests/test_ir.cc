@@ -1,0 +1,133 @@
+/**
+ * @file
+ * IR tests: builder, successors/predecessors, verifier diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/ir.hh"
+#include "isa/program.hh"
+
+namespace pabp {
+namespace {
+
+IrFunction
+makeDiamond()
+{
+    IrFunction fn;
+    fn.name = "diamond";
+    IrBuilder b(fn);
+    BlockId entry = b.newBlock();
+    BlockId then_b = b.newBlock();
+    BlockId else_b = b.newBlock();
+    BlockId join = b.newBlock();
+
+    b.setBlock(entry);
+    b.append(makeMovImm(1, 5));
+    b.condBrImm(CmpRel::Lt, 1, 10, then_b, else_b);
+
+    b.setBlock(then_b);
+    b.append(makeMovImm(2, 1));
+    b.jump(join);
+
+    b.setBlock(else_b);
+    b.append(makeMovImm(2, 2));
+    b.jump(join);
+
+    b.setBlock(join);
+    b.halt();
+    return fn;
+}
+
+TEST(IrBuilder, DiamondShape)
+{
+    IrFunction fn = makeDiamond();
+    ASSERT_EQ(fn.blocks.size(), 4u);
+    EXPECT_EQ(verifyFunction(fn), "");
+    EXPECT_EQ(fn.successors(0), (std::vector<BlockId>{1, 2}));
+    EXPECT_EQ(fn.successors(1), (std::vector<BlockId>{3}));
+    EXPECT_EQ(fn.successors(3), (std::vector<BlockId>{}));
+}
+
+TEST(IrBuilder, PredecessorLists)
+{
+    IrFunction fn = makeDiamond();
+    auto preds = fn.predecessorLists();
+    EXPECT_TRUE(preds[0].empty());
+    EXPECT_EQ(preds[1], (std::vector<BlockId>{0}));
+    EXPECT_EQ(preds[3], (std::vector<BlockId>{1, 2}));
+}
+
+TEST(IrVerifier, RejectsEmptyFunction)
+{
+    IrFunction fn;
+    EXPECT_NE(verifyFunction(fn), "");
+}
+
+TEST(IrVerifier, RejectsControlInBody)
+{
+    IrFunction fn;
+    IrBuilder b(fn);
+    BlockId blk = b.newBlock();
+    b.setBlock(blk);
+    b.append(makeBr(0));
+    b.halt();
+    EXPECT_NE(verifyFunction(fn), "");
+}
+
+TEST(IrVerifier, RejectsGuardedBodyOp)
+{
+    IrFunction fn;
+    IrBuilder b(fn);
+    BlockId blk = b.newBlock();
+    b.setBlock(blk);
+    b.append(makeMovImm(1, 1, 5)); // guarded by p5
+    b.halt();
+    EXPECT_NE(verifyFunction(fn), "");
+}
+
+TEST(IrVerifier, RejectsPredicateWriteInBody)
+{
+    IrFunction fn;
+    IrBuilder b(fn);
+    BlockId blk = b.newBlock();
+    b.setBlock(blk);
+    b.append(makeCmp(CmpRel::Eq, CmpType::Normal, 1, 2, 3, 4));
+    b.halt();
+    EXPECT_NE(verifyFunction(fn), "");
+}
+
+TEST(IrVerifier, RejectsOutOfRangeTarget)
+{
+    IrFunction fn;
+    IrBuilder b(fn);
+    BlockId blk = b.newBlock();
+    b.setBlock(blk);
+    b.jump(99);
+    EXPECT_NE(verifyFunction(fn), "");
+}
+
+TEST(IrVerifier, RejectsDegenerateCondBranch)
+{
+    IrFunction fn;
+    IrBuilder b(fn);
+    BlockId blk = b.newBlock();
+    BlockId other = b.newBlock();
+    b.setBlock(other);
+    b.halt();
+    b.setBlock(blk);
+    b.condBrImm(CmpRel::Eq, 1, 0, other, other);
+    EXPECT_NE(verifyFunction(fn), "");
+}
+
+TEST(IrDump, MentionsBlocksAndTerminators)
+{
+    IrFunction fn = makeDiamond();
+    std::string text = fn.dump();
+    EXPECT_NE(text.find("bb0"), std::string::npos);
+    EXPECT_NE(text.find("goto bb1"), std::string::npos);
+    EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+} // namespace
+} // namespace pabp

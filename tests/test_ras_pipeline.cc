@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Call/return timing tests: a hand-written ISA program with nested
+ * calls drives the pipeline's return address stack; well-nested code
+ * must hit, and deep recursion past the RAS depth must miss.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/factory.hh"
+#include "pipeline/pipeline.hh"
+
+namespace pabp {
+namespace {
+
+/**
+ * main: calls leaf() n times in a loop, then halts.
+ * leaf: one add, then ret.
+ *
+ * regs: r1 = loop counter.
+ */
+Program
+callLoopProgram(std::int64_t iterations)
+{
+    Program p;
+    p.name = "call-loop";
+    // 0: mov r1 = iterations
+    // 1: cmp.gt.unc p1, p2 = r1, 0
+    // 2: (p2) br 7        ; exit loop
+    // 3: call 8           ; leaf
+    // 4: sub r1 = r1, 1
+    // 5: br 1
+    // 6: nop
+    // 7: halt
+    // 8: add r2 = r2, 1   ; leaf body
+    // 9: ret
+    p.insts = {
+        makeMovImm(1, iterations),
+        makeCmpImm(CmpRel::Gt, CmpType::Unc, 1, 2, 1, 0),
+        makeBr(7, 2),
+        makeCall(8),
+        makeAluImm(Opcode::Sub, 1, 1, 1),
+        makeBr(1),
+        makeNop(),
+        makeHalt(),
+        makeAluImm(Opcode::Add, 2, 2, 1),
+        makeRet(),
+    };
+    return p;
+}
+
+/**
+ * Recursive descent to the given depth: each level calls the next
+ * until r1 reaches zero, then the whole chain returns.
+ */
+Program
+recursionProgram(std::int64_t depth)
+{
+    Program p;
+    p.name = "recursion";
+    // 0: mov r1 = depth
+    // 1: call 3
+    // 2: halt
+    // 3: cmp.gt.unc p1, p2 = r1, 0   ; f:
+    // 4: (p2) br 8                    ; base case -> ret
+    // 5: sub r1 = r1, 1
+    // 6: call 3
+    // 7: add r2 = r2, 1
+    // 8: ret
+    p.insts = {
+        makeMovImm(1, depth),
+        makeCall(3),
+        makeHalt(),
+        makeCmpImm(CmpRel::Gt, CmpType::Unc, 1, 2, 1, 0),
+        makeBr(8, 2),
+        makeAluImm(Opcode::Sub, 1, 1, 1),
+        makeCall(3),
+        makeAluImm(Opcode::Add, 2, 2, 1),
+        makeRet(),
+    };
+    return p;
+}
+
+PipelineStats
+timeProgram(const Program &p, PipelineConfig pcfg)
+{
+    EXPECT_EQ(validateProgram(p), "");
+    PredictorPtr pred = makePredictor("gshare", 10);
+    PredictionEngine engine(*pred, EngineConfig{});
+    Pipeline pipe(engine, pcfg);
+    Emulator emu(p, EmuConfig{1 << 12, 2'000'000});
+    return pipe.run(emu, 2'000'000);
+}
+
+TEST(RasPipeline, WellNestedCallsHit)
+{
+    Program p = callLoopProgram(500);
+    PipelineStats stats = timeProgram(p, PipelineConfig{});
+    EXPECT_EQ(stats.rasMisses, 0u);
+    EXPECT_EQ(stats.rasHits, 500u);
+}
+
+TEST(RasPipeline, ShallowRecursionFitsRas)
+{
+    Program p = recursionProgram(8);
+    PipelineConfig pcfg;
+    pcfg.rasDepth = 16;
+    PipelineStats stats = timeProgram(p, pcfg);
+    EXPECT_EQ(stats.rasMisses, 0u);
+    EXPECT_EQ(stats.rasHits, 9u); // depth 8 + the outer call
+}
+
+TEST(RasPipeline, DeepRecursionOverflowsRas)
+{
+    Program p = recursionProgram(64);
+    PipelineConfig pcfg;
+    pcfg.rasDepth = 8;
+    PipelineStats stats = timeProgram(p, pcfg);
+    EXPECT_GT(stats.rasMisses, 0u);
+    EXPECT_GT(stats.rasHits, 0u); // the innermost frames still hit
+}
+
+TEST(RasPipeline, RasMissesCostCycles)
+{
+    Program p = recursionProgram(64);
+    PipelineConfig big, small;
+    big.rasDepth = 128;
+    small.rasDepth = 4;
+    PipelineStats with_big = timeProgram(p, big);
+    PipelineStats with_small = timeProgram(p, small);
+    EXPECT_EQ(with_big.rasMisses, 0u);
+    EXPECT_GT(with_small.rasMisses, 0u);
+    EXPECT_GT(with_small.cycles, with_big.cycles);
+}
+
+TEST(RasPipeline, EmulatorAgreesOnCallSemantics)
+{
+    Program p = recursionProgram(16);
+    Emulator emu(p, EmuConfig{1 << 12, 100000});
+    emu.run(100000);
+    EXPECT_TRUE(emu.state().halted);
+    EXPECT_EQ(emu.state().readGpr(2), 16); // one add per level unwind
+}
+
+} // namespace
+} // namespace pabp

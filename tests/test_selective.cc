@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Selective if-conversion tests: the profiler's per-branch mispredict
+ * estimates and the theta seed filter in region formation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "sim/emulator.hh"
+#include "util/rng.hh"
+#include "workloads/workload.hh"
+
+namespace pabp {
+namespace {
+
+/**
+ * Two independent diamonds in one loop: one on a coin-flip condition
+ * (hard), one on a constant-true condition (trivially predictable).
+ */
+IrFunction
+hardAndEasy()
+{
+    IrFunction fn;
+    fn.name = "hard-and-easy";
+    IrBuilder b(fn);
+    BlockId entry = b.newBlock();
+    BlockId head = b.newBlock();
+    BlockId hard_test = b.newBlock();
+    BlockId hard_then = b.newBlock();
+    BlockId hard_join = b.newBlock();
+    BlockId easy_test = b.newBlock();
+    BlockId easy_then = b.newBlock();
+    BlockId easy_join = b.newBlock();
+    BlockId latch = b.newBlock();
+    BlockId done = b.newBlock();
+
+    b.setBlock(entry);
+    b.append(makeMovImm(1, 0));
+    b.append(makeMovImm(3, 4096));
+    b.jump(head);
+
+    b.setBlock(head);
+    b.condBr(CmpRel::Lt, 1, 3, hard_test, done);
+
+    b.setBlock(hard_test);
+    b.append(makeLoad(4, 1, 0)); // random 0/1
+    b.condBrImm(CmpRel::Eq, 4, 1, hard_then, hard_join);
+
+    b.setBlock(hard_then);
+    b.append(makeAluImm(Opcode::Add, 5, 5, 1));
+    b.jump(hard_join);
+
+    b.setBlock(hard_join);
+    b.jump(easy_test);
+
+    b.setBlock(easy_test);
+    // r0 == 0 always: perfectly predictable.
+    b.condBrImm(CmpRel::Eq, 0, 0, easy_then, easy_join);
+
+    b.setBlock(easy_then);
+    b.append(makeAluImm(Opcode::Add, 6, 6, 1));
+    b.jump(easy_join);
+
+    b.setBlock(easy_join);
+    b.jump(latch);
+
+    b.setBlock(latch);
+    b.append(makeAluImm(Opcode::Add, 1, 1, 1));
+    b.jump(head);
+
+    b.setBlock(done);
+    b.halt();
+    return fn;
+}
+
+StateInit
+coinInit()
+{
+    return [](ArchState &state) {
+        Rng rng(1234);
+        for (std::int64_t i = 0; i < 4096; ++i)
+            state.writeMem(i, rng.chance(0.5) ? 1 : 0);
+    };
+}
+
+TEST(SelectiveProfile, HardBranchAccumulatesMispredicts)
+{
+    IrFunction fn = hardAndEasy();
+    profileFunction(fn, coinInit(), 200000);
+    const BasicBlock &hard = fn.blocks[2];
+    const BasicBlock &easy = fn.blocks[5];
+    ASSERT_GT(hard.execCount, 1000u);
+    ASSERT_GT(easy.execCount, 1000u);
+    // Coin flips mispredict heavily; the constant branch does not.
+    EXPECT_GT(hard.profMispredicts, hard.execCount / 4);
+    EXPECT_LT(easy.profMispredicts, easy.execCount / 100);
+}
+
+TEST(SelectiveRegions, ThetaSkipsEasySeeds)
+{
+    IrFunction fn = hardAndEasy();
+    profileFunction(fn, coinInit(), 200000);
+
+    HyperblockHeuristics all;
+    RegionAssignment everything = selectRegions(fn, all);
+
+    HyperblockHeuristics selective;
+    selective.minSeedMispredictRatio = 0.05;
+    RegionAssignment filtered = selectRegions(fn, selective);
+
+    auto seeded_at = [](const RegionAssignment &ra, BlockId b) {
+        for (const Region &r : ra.regions)
+            if (r.seed() == b)
+                return true;
+        return false;
+    };
+    // Unfiltered: both diamonds seed (or join larger regions).
+    EXPECT_TRUE(everything.inRegion(2));
+    EXPECT_TRUE(everything.inRegion(5));
+    // Filtered: the easy diamond must not be a seed.
+    EXPECT_FALSE(seeded_at(filtered, 5));
+    // The hard diamond still converts.
+    EXPECT_TRUE(filtered.inRegion(2));
+}
+
+TEST(SelectiveRegions, ZeroThetaMatchesDefaultBehaviour)
+{
+    IrFunction fn = hardAndEasy();
+    profileFunction(fn, coinInit(), 200000);
+    RegionAssignment a = selectRegions(fn, HyperblockHeuristics{});
+    HyperblockHeuristics zero;
+    zero.minSeedMispredictRatio = 0.0;
+    RegionAssignment b = selectRegions(fn, zero);
+    ASSERT_EQ(a.regions.size(), b.regions.size());
+    for (std::size_t i = 0; i < a.regions.size(); ++i)
+        EXPECT_EQ(a.regions[i].blocks, b.regions[i].blocks);
+}
+
+TEST(SelectiveCompile, EquivalenceStillHolds)
+{
+    for (double theta : {0.02, 0.10}) {
+        Workload wl = makeWorkload("histogram", 3);
+        CompileOptions normal_opts;
+        normal_opts.ifConvert = false;
+        CompiledProgram normal = compileWorkload(wl, normal_opts);
+
+        CompileOptions sel_opts;
+        sel_opts.heuristics.minSeedMispredictRatio = theta;
+        CompiledProgram selective = compileWorkload(wl, sel_opts);
+
+        Emulator a(normal.prog, EmuConfig{1 << 16, 30'000'000});
+        Emulator c(selective.prog, EmuConfig{1 << 16, 30'000'000});
+        wl.init(a.state());
+        wl.init(c.state());
+        a.run(30'000'000);
+        c.run(30'000'000);
+        ASSERT_TRUE(a.state().halted && c.state().halted);
+        EXPECT_TRUE(a.state().sameArchOutcome(c.state()));
+    }
+}
+
+} // namespace
+} // namespace pabp

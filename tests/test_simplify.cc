@@ -1,0 +1,211 @@
+/**
+ * @file
+ * CFG simplification tests: jump threading, single-predecessor
+ * merging, unreachable removal, degenerate-branch collapse, and the
+ * semantic-equivalence property over random programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "compiler/simplify.hh"
+#include "sim/emulator.hh"
+#include "workloads/random_gen.hh"
+
+namespace pabp {
+namespace {
+
+TEST(Simplify, ThreadsEmptyForwardingBlocks)
+{
+    IrFunction fn;
+    IrBuilder b(fn);
+    BlockId entry = b.newBlock();
+    BlockId fwd1 = b.newBlock();
+    BlockId fwd2 = b.newBlock();
+    BlockId real = b.newBlock();
+
+    b.setBlock(entry);
+    b.append(makeMovImm(1, 1));
+    b.jump(fwd1);
+    b.setBlock(fwd1);
+    b.jump(fwd2);
+    b.setBlock(fwd2);
+    b.jump(real);
+    b.setBlock(real);
+    b.append(makeMovImm(2, 2));
+    b.halt();
+
+    SimplifyStats stats = simplifyFunction(fn);
+    EXPECT_GE(stats.threadedJumps, 1u);
+    EXPECT_GE(stats.removedBlocks, 2u);
+    EXPECT_EQ(verifyFunction(fn), "");
+    // entry + real remain (real merged into entry, in fact).
+    EXPECT_LE(fn.blocks.size(), 2u);
+}
+
+TEST(Simplify, MergesSinglePredecessorChains)
+{
+    IrFunction fn;
+    IrBuilder b(fn);
+    BlockId entry = b.newBlock();
+    BlockId mid = b.newBlock();
+    BlockId tail = b.newBlock();
+
+    b.setBlock(entry);
+    b.append(makeMovImm(1, 1));
+    b.jump(mid);
+    b.setBlock(mid);
+    b.append(makeMovImm(2, 2));
+    b.jump(tail);
+    b.setBlock(tail);
+    b.append(makeMovImm(3, 3));
+    b.halt();
+
+    SimplifyStats stats = simplifyFunction(fn);
+    EXPECT_GE(stats.mergedBlocks, 2u);
+    ASSERT_EQ(fn.blocks.size(), 1u);
+    EXPECT_EQ(fn.blocks[0].body.size(), 3u);
+    EXPECT_EQ(fn.blocks[0].term.kind, Terminator::Kind::Halt);
+}
+
+TEST(Simplify, DoesNotMergeMultiPredecessorJoins)
+{
+    IrFunction fn;
+    IrBuilder b(fn);
+    BlockId entry = b.newBlock();
+    BlockId then_b = b.newBlock();
+    BlockId else_b = b.newBlock();
+    BlockId join = b.newBlock();
+
+    b.setBlock(entry);
+    b.condBrImm(CmpRel::Lt, 1, 5, then_b, else_b);
+    b.setBlock(then_b);
+    b.append(makeMovImm(2, 1));
+    b.jump(join);
+    b.setBlock(else_b);
+    b.append(makeMovImm(2, 2));
+    b.jump(join);
+    b.setBlock(join);
+    b.append(makeMovImm(3, 3));
+    b.halt();
+
+    simplifyFunction(fn);
+    EXPECT_EQ(verifyFunction(fn), "");
+    // The join must survive (it has two predecessors).
+    EXPECT_EQ(fn.blocks.size(), 4u);
+}
+
+TEST(Simplify, CollapsesDegenerateCondBranch)
+{
+    // Both arms of a cond branch forward to the same block.
+    IrFunction fn;
+    IrBuilder b(fn);
+    BlockId entry = b.newBlock();
+    BlockId fwd_a = b.newBlock();
+    BlockId fwd_b = b.newBlock();
+    BlockId tail = b.newBlock();
+
+    b.setBlock(entry);
+    b.condBrImm(CmpRel::Lt, 1, 5, fwd_a, fwd_b);
+    b.setBlock(fwd_a);
+    b.jump(tail);
+    b.setBlock(fwd_b);
+    b.jump(tail);
+    b.setBlock(tail);
+    b.halt();
+
+    SimplifyStats stats = simplifyFunction(fn);
+    EXPECT_TRUE(stats.changedAnything());
+    EXPECT_EQ(verifyFunction(fn), "");
+    ASSERT_EQ(fn.blocks.size(), 1u);
+    EXPECT_EQ(fn.blocks[0].term.kind, Terminator::Kind::Halt);
+}
+
+TEST(Simplify, RemovesUnreachableBlocks)
+{
+    IrFunction fn;
+    IrBuilder b(fn);
+    BlockId entry = b.newBlock();
+    BlockId dead = b.newBlock();
+
+    b.setBlock(entry);
+    b.halt();
+    b.setBlock(dead);
+    b.append(makeMovImm(1, 1));
+    b.halt();
+
+    SimplifyStats stats = simplifyFunction(fn);
+    EXPECT_EQ(stats.removedBlocks, 1u);
+    EXPECT_EQ(fn.blocks.size(), 1u);
+}
+
+TEST(Simplify, IdempotentOnCleanCfg)
+{
+    IrFunction fn;
+    IrBuilder b(fn);
+    BlockId entry = b.newBlock();
+    BlockId loop = b.newBlock();
+    BlockId done = b.newBlock();
+    b.setBlock(entry);
+    b.append(makeMovImm(1, 10));
+    b.jump(loop);
+    b.setBlock(loop);
+    b.append(makeAluImm(Opcode::Sub, 1, 1, 1));
+    b.condBrImm(CmpRel::Gt, 1, 0, loop, done);
+    b.setBlock(done);
+    b.halt();
+
+    simplifyFunction(fn);
+    SimplifyStats second = simplifyFunction(fn);
+    EXPECT_FALSE(second.changedAnything());
+}
+
+TEST(Simplify, PreservesSemanticsOnRandomPrograms)
+{
+    for (std::uint64_t seed = 600; seed < 624; ++seed) {
+        Workload original = makeRandomWorkload(seed);
+        Workload cleaned = makeRandomWorkload(seed);
+        simplifyFunction(cleaned.fn);
+        ASSERT_EQ(verifyFunction(cleaned.fn), "") << seed;
+
+        CompiledProgram a = lowerNormal(original.fn);
+        CompiledProgram c = lowerNormal(cleaned.fn);
+        Emulator ea(a.prog, EmuConfig{1 << 14, 20'000'000});
+        Emulator ec(c.prog, EmuConfig{1 << 14, 20'000'000});
+        original.init(ea.state());
+        cleaned.init(ec.state());
+        ea.run(20'000'000);
+        ec.run(20'000'000);
+        ASSERT_TRUE(ea.state().halted && ec.state().halted) << seed;
+        EXPECT_TRUE(ea.state().sameArchOutcome(ec.state())) << seed;
+    }
+}
+
+TEST(Simplify, ComposesWithIfConversion)
+{
+    for (std::uint64_t seed = 700; seed < 712; ++seed) {
+        Workload plain = makeRandomWorkload(seed);
+        Workload both = makeRandomWorkload(seed);
+
+        CompileOptions plain_opts;
+        plain_opts.ifConvert = false;
+        CompiledProgram a = compileWorkload(plain, plain_opts);
+
+        CompileOptions both_opts;
+        both_opts.simplifyCfg = true;
+        both_opts.ifConvert = true;
+        CompiledProgram c = compileWorkload(both, both_opts);
+
+        Emulator ea(a.prog, EmuConfig{1 << 14, 20'000'000});
+        Emulator ec(c.prog, EmuConfig{1 << 14, 20'000'000});
+        plain.init(ea.state());
+        both.init(ec.state());
+        ea.run(20'000'000);
+        ec.run(20'000'000);
+        ASSERT_TRUE(ea.state().halted && ec.state().halted) << seed;
+        EXPECT_TRUE(ea.state().sameArchOutcome(ec.state())) << seed;
+    }
+}
+
+} // namespace
+} // namespace pabp

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Trace record/replay tests: round trips through memory and disk, and
+ * the key property that replaying a recorded trace produces *exactly*
+ * the same prediction statistics as a live run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "bpred/gshare.hh"
+#include "core/engine.hh"
+#include "sim/trace_io.hh"
+#include "workloads/workload.hh"
+
+namespace pabp {
+namespace {
+
+RecordedTrace
+recordWorkload(const std::string &name, std::uint64_t steps)
+{
+    Workload wl = makeWorkload(name, 77);
+    CompileOptions copts;
+    CompiledProgram cp = compileWorkload(wl, copts);
+    Emulator emu(cp.prog);
+    if (wl.init)
+        wl.init(emu.state());
+    return recordTrace(emu, steps);
+}
+
+TEST(TraceIo, RecordCapturesEvents)
+{
+    RecordedTrace trace = recordWorkload("dchain", 50000);
+    EXPECT_EQ(trace.size(), 50000u);
+    EXPECT_GT(trace.prog.size(), 0u);
+}
+
+TEST(TraceIo, MaterialiseReconstructsBranchFacts)
+{
+    RecordedTrace trace = recordWorkload("filter", 20000);
+    std::uint64_t branches = 0, taken = 0, writes = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        DynInst dyn = trace.materialise(i);
+        EXPECT_EQ(dyn.seq, i);
+        ASSERT_NE(dyn.inst, nullptr);
+        if (dyn.inst->isConditionalBranch()) {
+            ++branches;
+            taken += dyn.taken;
+        }
+        writes += dyn.numPredWrites;
+    }
+    EXPECT_GT(branches, 0u);
+    EXPECT_GT(taken, 0u);
+    EXPECT_GT(writes, 0u);
+}
+
+TEST(TraceIo, StreamRoundTripExact)
+{
+    RecordedTrace trace = recordWorkload("histogram", 30000);
+    std::stringstream buffer;
+    std::uint64_t bytes = writeTrace(trace, buffer);
+    EXPECT_GT(bytes, trace.size() * 12);
+
+    RecordedTrace back = readTrace(buffer);
+    ASSERT_EQ(back.size(), trace.size());
+    ASSERT_EQ(back.prog.size(), trace.prog.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(back.events[i], trace.events[i]) << "event " << i;
+    for (std::size_t pc = 0; pc < trace.prog.size(); ++pc) {
+        EXPECT_EQ(encode(back.prog.insts[pc]),
+                  encode(trace.prog.insts[pc]));
+        EXPECT_EQ(back.prog.insts[pc].regionId,
+                  trace.prog.insts[pc].regionId);
+    }
+}
+
+TEST(TraceIo, BadMagicRejected)
+{
+    std::stringstream buffer;
+    buffer << "NOTATRACE-------";
+    EXPECT_EXIT(readTrace(buffer), ::testing::ExitedWithCode(1),
+                "bad magic");
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    RecordedTrace trace = recordWorkload("rle", 10000);
+    std::string path = ::testing::TempDir() + "pabp_test.trace";
+    saveTraceFile(trace, path);
+    RecordedTrace back = loadTraceFile(path);
+    EXPECT_EQ(back.size(), trace.size());
+    std::remove(path.c_str());
+}
+
+class ReplayEquivalence : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(ReplayEquivalence, ReplayMatchesLiveRunExactly)
+{
+    const std::string name = GetParam();
+    constexpr std::uint64_t steps = 200000;
+
+    // Live run.
+    Workload wl = makeWorkload(name, 77);
+    CompileOptions copts;
+    CompiledProgram cp = compileWorkload(wl, copts);
+    GSharePredictor live_pred(12);
+    EngineConfig ecfg;
+    ecfg.useSfpf = true;
+    ecfg.usePgu = true;
+    PredictionEngine live(live_pred, ecfg);
+    Emulator emu(cp.prog);
+    if (wl.init)
+        wl.init(emu.state());
+    runTrace(emu, live, steps);
+
+    // Recorded replay.
+    RecordedTrace trace = recordWorkload(name, steps);
+    GSharePredictor replay_pred(12);
+    PredictionEngine replay(replay_pred, ecfg);
+    replayTrace(trace, replay, steps);
+
+    EXPECT_EQ(live.stats().insts, replay.stats().insts);
+    EXPECT_EQ(live.stats().all.branches, replay.stats().all.branches);
+    EXPECT_EQ(live.stats().all.mispredicts,
+              replay.stats().all.mispredicts);
+    EXPECT_EQ(live.stats().all.squashed, replay.stats().all.squashed);
+    EXPECT_EQ(live.stats().predicateDefines,
+              replay.stats().predicateDefines);
+    EXPECT_EQ(live.pguBitsInserted(), replay.pguBitsInserted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, ReplayEquivalence,
+                         ::testing::Values("dchain", "filter", "interp",
+                                           "bsearch"));
+
+} // namespace
+} // namespace pabp

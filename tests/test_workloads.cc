@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Workload-suite tests: every member verifies, halts, is
+ * deterministic, and exhibits the structural properties the
+ * experiments rely on (regions form, region branches exist where
+ * expected, predicate defines flow).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/emulator.hh"
+#include "workloads/random_gen.hh"
+#include "workloads/workload.hh"
+
+namespace pabp {
+namespace {
+
+class EveryWorkload : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(EveryWorkload, VerifiesAndHalts)
+{
+    Workload wl = makeWorkload(GetParam(), 17);
+    EXPECT_EQ(verifyFunction(wl.fn), "");
+
+    CompileOptions copts;
+    copts.ifConvert = false;
+    CompiledProgram cp = compileWorkload(wl, copts);
+    Emulator emu(cp.prog, EmuConfig{1 << 20, 40'000'000});
+    if (wl.init)
+        wl.init(emu.state());
+    emu.run(40'000'000);
+    EXPECT_TRUE(emu.state().halted) << GetParam();
+    EXPECT_FALSE(emu.fuseBlown()) << GetParam();
+    // Run length should be meaningful but bounded.
+    EXPECT_GT(emu.instsExecuted(), 100'000u) << GetParam();
+    EXPECT_LT(emu.instsExecuted(), 30'000'000u) << GetParam();
+}
+
+TEST_P(EveryWorkload, FormsRegionsWhenIfConverted)
+{
+    Workload wl = makeWorkload(GetParam(), 17);
+    CompileOptions copts;
+    copts.ifConvert = true;
+    CompiledProgram cp = compileWorkload(wl, copts);
+    EXPECT_GE(cp.info.numRegions, 1u) << GetParam();
+    EXPECT_GE(cp.info.numIfConvertedBranches, 1u) << GetParam();
+}
+
+TEST_P(EveryWorkload, PredicatedRunExecutesPredicateDefines)
+{
+    Workload wl = makeWorkload(GetParam(), 17);
+    CompileOptions copts;
+    CompiledProgram cp = compileWorkload(wl, copts);
+    Emulator emu(cp.prog);
+    if (wl.init)
+        wl.init(emu.state());
+    DynInst dyn;
+    std::uint64_t defines = 0, guarded_false = 0;
+    for (std::uint64_t i = 0; i < 200'000 && emu.step(dyn); ++i) {
+        defines += dyn.inst->writesPredicate();
+        guarded_false += !dyn.guard;
+    }
+    EXPECT_GT(defines, 0u) << GetParam();
+    EXPECT_GT(guarded_false, 0u) << GetParam();
+}
+
+TEST_P(EveryWorkload, DeterministicAcrossRebuilds)
+{
+    Workload w1 = makeWorkload(GetParam(), 55);
+    Workload w2 = makeWorkload(GetParam(), 55);
+    CompileOptions copts;
+    CompiledProgram p1 = compileWorkload(w1, copts);
+    CompiledProgram p2 = compileWorkload(w2, copts);
+    ASSERT_EQ(p1.prog.size(), p2.prog.size()) << GetParam();
+    for (std::size_t i = 0; i < p1.prog.size(); ++i) {
+        EXPECT_EQ(encode(p1.prog.insts[i]).word0,
+                  encode(p2.prog.insts[i]).word0)
+            << GetParam() << " pc " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, EveryWorkload,
+                         ::testing::ValuesIn(workloadNames()));
+
+TEST(WorkloadSuite, AllWorkloadsReturnsCanonicalOrder)
+{
+    auto suite = allWorkloads(1);
+    auto names = workloadNames();
+    ASSERT_EQ(suite.size(), names.size());
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        EXPECT_EQ(suite[i].name, names[i]);
+}
+
+TEST(WorkloadSuite, RegionBranchesExistInKeyWorkloads)
+{
+    for (const char *name : {"histogram", "filter", "dchain", "interp"}) {
+        Workload wl = makeWorkload(name, 17);
+        CompileOptions copts;
+        CompiledProgram cp = compileWorkload(wl, copts);
+        EXPECT_GE(cp.info.numRegionBranches, 1u) << name;
+    }
+}
+
+TEST(BiasWorkload, BranchFollowsRequestedBias)
+{
+    for (double bias : {0.1, 0.5, 0.9}) {
+        Workload wl = makeBiasWorkload(bias, 7);
+        CompileOptions copts;
+        copts.ifConvert = false;
+        CompiledProgram cp = compileWorkload(wl, copts);
+        Emulator emu(cp.prog);
+        wl.init(emu.state());
+        DynInst dyn;
+        std::uint64_t taken = 0, total = 0;
+        // The diamond branch is the one comparing r4 == 1.
+        for (std::uint64_t i = 0; i < 400'000 && emu.step(dyn); ++i) {
+            if (dyn.inst->isConditionalBranch()) {
+                // Identify via the preceding cmp against imm 1.
+                const Inst &prev =
+                    cp.prog.insts[dyn.pc ? dyn.pc - 1 : 0];
+                if (prev.op == Opcode::Cmp && prev.hasImm &&
+                    prev.imm == 1) {
+                    taken += dyn.taken;
+                    ++total;
+                }
+            }
+        }
+        ASSERT_GT(total, 1000u);
+        EXPECT_NEAR(static_cast<double>(taken) / total, bias, 0.03);
+    }
+}
+
+TEST(CorrWorkload, DistanceControlsRegionShape)
+{
+    Workload wl = makeCorrWorkload(16, 3);
+    EXPECT_EQ(verifyFunction(wl.fn), "");
+    CompileOptions copts;
+    copts.heuristics = corrWorkloadHeuristics();
+    CompiledProgram cp = compileWorkload(wl, copts);
+    EXPECT_GE(cp.info.numRegions, 1u);
+    EXPECT_GE(cp.info.numRegionBranches, 1u);
+    // The handler must be a side-exit target, not a region member:
+    // the region-based branch's guard is the rare arm's predicate.
+    bool jump_exit_found = false;
+    for (const Inst &inst : cp.prog.insts)
+        if (inst.regionBranch)
+            jump_exit_found = true;
+    EXPECT_TRUE(jump_exit_found);
+}
+
+TEST(RandomWorkload, DeterministicForSeed)
+{
+    Workload a = makeRandomWorkload(9);
+    Workload b = makeRandomWorkload(9);
+    ASSERT_EQ(a.fn.blocks.size(), b.fn.blocks.size());
+    EXPECT_EQ(a.fn.dump(), b.fn.dump());
+}
+
+TEST(RandomWorkload, DifferentSeedsDiffer)
+{
+    Workload a = makeRandomWorkload(9);
+    Workload b = makeRandomWorkload(10);
+    EXPECT_NE(a.fn.dump(), b.fn.dump());
+}
+
+TEST(RandomWorkload, AlwaysHalts)
+{
+    for (std::uint64_t seed = 400; seed < 420; ++seed) {
+        Workload wl = makeRandomWorkload(seed);
+        ASSERT_EQ(verifyFunction(wl.fn), "") << seed;
+        CompileOptions copts;
+        copts.ifConvert = false;
+        CompiledProgram cp = compileWorkload(wl, copts);
+        Emulator emu(cp.prog, EmuConfig{1 << 16, 10'000'000});
+        wl.init(emu.state());
+        emu.run(10'000'000);
+        EXPECT_TRUE(emu.state().halted) << seed;
+    }
+}
+
+} // namespace
+} // namespace pabp
