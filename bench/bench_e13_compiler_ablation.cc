@@ -59,6 +59,7 @@ main(int argc, char **argv)
             spec.compile.lowering.sinkExits = mode == 0;
             spec.maxInsts = steps;
             spec.seed = seed;
+            applyCheckpointOptions(spec, opts);
             results[mode] = runTraceSpec(makeWorkload(name, seed), spec);
         }
         sink_table.startRow();

@@ -41,6 +41,7 @@ main(int argc, char **argv)
             base.engine.availDelay = delay;
             base.maxInsts = steps;
             base.seed = seed;
+            applyCheckpointOptions(base, opts);
             EngineStats b = runTraceSpec(makeWorkload(name, seed), base);
 
             RunSpec spec = base;

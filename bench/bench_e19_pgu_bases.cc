@@ -39,6 +39,7 @@ main(int argc, char **argv)
             alone.predictor = kind;
             alone.maxInsts = steps;
             alone.seed = seed;
+            applyCheckpointOptions(alone, opts);
             sum_alone += runTraceSpec(makeWorkload(name, seed), alone)
                              .all.mispredictRate();
 

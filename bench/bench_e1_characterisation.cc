@@ -49,6 +49,7 @@ main(int argc, char **argv)
         RunSpec spec;
         spec.maxInsts = steps;
         spec.seed = seed;
+        applyCheckpointOptions(spec, opts);
         CompileOptions copts;
         CompiledProgram conv = compileWorkload(wl, copts);
         EngineStats stats = runTraceSpec(makeWorkload(name, seed), spec);

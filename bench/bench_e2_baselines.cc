@@ -46,6 +46,7 @@ main(int argc, char **argv)
             spec.sizeLog2 = size_log2;
             spec.maxInsts = steps;
             spec.seed = seed;
+            applyCheckpointOptions(spec, opts);
             EngineStats stats =
                 runTraceSpec(makeWorkload(name, seed), spec);
             double rate = stats.all.mispredictRate();

@@ -37,6 +37,7 @@ main(int argc, char **argv)
             base.sizeLog2 = size_log2;
             base.maxInsts = steps;
             base.seed = seed;
+            applyCheckpointOptions(base, opts);
             sum_base += runTraceSpec(makeWorkload(name, seed), base)
                             .all.mispredictRate();
 
@@ -64,6 +65,7 @@ main(int argc, char **argv)
         RunSpec base;
         base.maxInsts = steps;
         base.seed = seed;
+        applyCheckpointOptions(base, opts);
         EngineStats b = runTraceSpec(makeWorkload(name, seed), base);
 
         RunSpec sfpf = base;

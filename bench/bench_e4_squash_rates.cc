@@ -42,6 +42,7 @@ main(int argc, char **argv)
             spec.engine.availDelay = delay;
             spec.maxInsts = steps;
             spec.seed = seed;
+            applyCheckpointOptions(spec, opts);
             EngineStats stats =
                 runTraceSpec(makeWorkload(name, seed), spec);
             double denom = static_cast<double>(stats.all.branches);

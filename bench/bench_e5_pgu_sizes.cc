@@ -36,6 +36,7 @@ main(int argc, char **argv)
             base.sizeLog2 = size_log2;
             base.maxInsts = steps;
             base.seed = seed;
+            applyCheckpointOptions(base, opts);
             sum_base += runTraceSpec(makeWorkload(name, seed), base)
                             .all.mispredictRate();
 
@@ -63,6 +64,7 @@ main(int argc, char **argv)
         RunSpec base;
         base.maxInsts = steps;
         base.seed = seed;
+        applyCheckpointOptions(base, opts);
         EngineStats b = runTraceSpec(makeWorkload(name, seed), base);
 
         // PGU run needs direct engine access for the bit count.

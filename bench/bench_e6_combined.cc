@@ -60,6 +60,7 @@ main(int argc, char **argv)
             spec.engine.usePgu = configs[c].pgu;
             spec.maxInsts = steps;
             spec.seed = seed;
+            applyCheckpointOptions(spec, opts);
             rates[c] = runTraceSpec(makeWorkload(name, seed), spec)
                            .all.mispredictRate();
             sums[c] += rates[c];

@@ -45,6 +45,7 @@ main(int argc, char **argv)
             spec.engine.usePgu = config.pgu;
             spec.maxInsts = steps;
             spec.seed = seed;
+            applyCheckpointOptions(spec, opts);
             EngineStats stats =
                 runTraceSpec(makeWorkload(name, seed), spec);
             if (!wrote_counts) {

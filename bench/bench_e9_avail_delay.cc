@@ -48,6 +48,7 @@ main(int argc, char **argv)
             spec.compile.heuristics = corrWorkloadHeuristics();
             spec.maxInsts = steps;
             spec.seed = seed;
+            applyCheckpointOptions(spec, opts);
             EngineStats stats =
                 runTraceSpec(makeCorrWorkload(dist, seed), spec);
             squash_table.percentCell(

@@ -11,14 +11,18 @@
 #ifndef PABP_BENCH_COMMON_HH
 #define PABP_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "bpred/factory.hh"
+#include "core/checkpoint.hh"
 #include "core/engine.hh"
 #include "pipeline/pipeline.hh"
 #include "sim/emulator.hh"
+#include "util/logging.hh"
 #include "util/options.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
@@ -35,6 +39,16 @@ struct RunSpec
     CompileOptions compile;
     std::uint64_t maxInsts = 1'500'000;
     std::uint64_t seed = 42;
+
+    /** Checkpoint/resume knobs (see core/checkpoint.hh). A killed
+     *  experiment restarted with resumePath continues from its last
+     *  checkpoint instead of re-simulating from scratch. Resume is
+     *  best-effort per run: a checkpoint whose fingerprint does not
+     *  match this spec (it belongs to another run of the sweep)
+     *  falls back to a fresh run; a damaged checkpoint is fatal. */
+    std::uint64_t checkpointEvery = 0; ///< instructions; 0 = off
+    std::string checkpointPath = "pabp.ckpt";
+    std::string resumePath;
 };
 
 /** Trace-driven run: returns the engine stats. */
@@ -50,7 +64,41 @@ runTraceSpec(Workload wl, const RunSpec &spec)
     Emulator emu(cp.prog);
     if (wl.init)
         wl.init(emu.state());
-    runTrace(emu, engine, spec.maxInsts);
+
+    std::uint64_t done = 0;
+    if (!spec.resumePath.empty()) {
+        CheckpointRefs refs{&emu, &engine, &done};
+        Status status = loadCheckpoint(spec.resumePath, refs);
+        if (status.code() == StatusCode::InvalidArgument) {
+            // Sweep binaries pass --resume to every run; the
+            // checkpoint fingerprint only matches the run that was
+            // interrupted. Any other run starts fresh (the failed
+            // load may have scribbled on this emulator/engine, so
+            // rebuild from scratch).
+            RunSpec fresh = spec;
+            fresh.resumePath.clear();
+            return runTraceSpec(std::move(wl), fresh);
+        }
+        if (!status.ok())
+            pabp_fatal(status.toString());
+    }
+    if (spec.checkpointEvery == 0) {
+        runTrace(emu, engine,
+                 spec.maxInsts - std::min(done, spec.maxInsts));
+    } else {
+        while (done < spec.maxInsts) {
+            std::uint64_t chunk =
+                std::min(spec.checkpointEvery, spec.maxInsts - done);
+            std::uint64_t ran = runTrace(emu, engine, chunk);
+            done += ran;
+            CheckpointRefs refs{&emu, &engine, &done};
+            Status status = saveCheckpoint(spec.checkpointPath, refs);
+            if (!status.ok())
+                pabp_fatal(status.toString());
+            if (ran < chunk)
+                break; // workload halted before the budget
+        }
+    }
     return engine.stats();
 }
 
@@ -89,7 +137,22 @@ standardOptions()
     opts.declare("steps", "1500000", "instructions per run");
     opts.declare("seed", "42", "workload input seed");
     opts.declare("csv", "0", "also print CSV");
+    opts.declare("checkpoint-every", "0",
+                 "checkpoint every N instructions (0 = off)");
+    opts.declare("checkpoint-file", "pabp.ckpt",
+                 "checkpoint path for --checkpoint-every");
+    opts.declare("resume", "", "resume from a checkpoint file");
     return opts;
+}
+
+/** Copy the standard checkpoint options into a run spec. */
+inline void
+applyCheckpointOptions(RunSpec &spec, const Options &opts)
+{
+    spec.checkpointEvery =
+        static_cast<std::uint64_t>(opts.integer("checkpoint-every"));
+    spec.checkpointPath = opts.str("checkpoint-file");
+    spec.resumePath = opts.str("resume");
 }
 
 /** Print the table, optionally followed by CSV. */

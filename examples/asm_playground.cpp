@@ -68,26 +68,26 @@ main(int argc, char **argv)
         source = buffer.str();
     }
 
-    AssembleResult assembled = assembleProgram(source, "playground");
+    Expected<Program> assembled = assembleProgram(source, "playground");
     if (!assembled.ok()) {
         std::fprintf(stderr, "assembly error: %s\n",
-                     assembled.error.c_str());
+                     assembled.status().toString().c_str());
         return 1;
     }
-    std::string problem = validateProgram(assembled.prog);
+    std::string problem = validateProgram(assembled.value());
     if (!problem.empty()) {
         std::fprintf(stderr, "invalid program: %s\n", problem.c_str());
         return 1;
     }
 
     std::printf("=== listing ===\n%s\n",
-                assembled.prog.disassembleAll().c_str());
+                assembled.value().disassembleAll().c_str());
 
     GSharePredictor gshare(10);
     EngineConfig ecfg;
     ecfg.useSfpf = true;
     PredictionEngine engine(gshare, ecfg);
-    Emulator emu(assembled.prog, EmuConfig{1 << 12, 1'000'000});
+    Emulator emu(assembled.value(), EmuConfig{1 << 12, 1'000'000});
     // Demo input: signed values in [-128, 127].
     for (std::int64_t i = 0; i < 256; ++i)
         emu.state().writeMem(i, (i * 37 % 255) - 128);

@@ -15,8 +15,10 @@
 #include <string>
 
 #include "bpred/factory.hh"
+#include "core/checkpoint.hh"
 #include "core/engine.hh"
 #include "sim/trace_io.hh"
+#include "util/logging.hh"
 #include "util/options.hh"
 #include "workloads/workload.hh"
 
@@ -47,7 +49,20 @@ doRecord(const Options &opts)
 int
 doReplay(const Options &opts)
 {
-    RecordedTrace trace = loadTraceFile(opts.str("replay"));
+    TraceReadOptions topts;
+    topts.salvage = opts.flag("salvage");
+    TraceReadInfo tinfo;
+    Expected<RecordedTrace> loaded =
+        tryLoadTraceFile(opts.str("replay"), topts, &tinfo);
+    if (!loaded.ok())
+        pabp_fatal(loaded.status().toString());
+    const RecordedTrace &trace = loaded.value();
+    if (tinfo.salvaged)
+        std::printf("salvaged trace: kept %zu events, dropped %llu\n",
+                    trace.size(),
+                    static_cast<unsigned long long>(
+                        tinfo.eventsDropped));
+
     PredictorPtr pred = makePredictor(
         opts.str("predictor"),
         static_cast<unsigned>(opts.integer("size-log2")));
@@ -55,7 +70,34 @@ doReplay(const Options &opts)
     ecfg.useSfpf = opts.flag("sfpf");
     ecfg.usePgu = opts.flag("pgu");
     PredictionEngine engine(*pred, ecfg);
-    replayTrace(trace, engine, trace.size());
+
+    // Optional checkpoint/resume around the replay loop. The replay
+    // cursor travels inside the checkpoint, so a resumed run picks up
+    // exactly where the saved one stopped.
+    std::uint64_t pos = 0;
+    std::string ckpt_path = opts.str("checkpoint-file");
+    auto every =
+        static_cast<std::uint64_t>(opts.integer("checkpoint-every"));
+    if (!opts.str("resume").empty()) {
+        CheckpointRefs refs{nullptr, &engine, &pos};
+        Status status = loadCheckpoint(opts.str("resume"), refs);
+        if (!status.ok())
+            pabp_fatal(status.toString());
+        std::printf("resumed at event %llu from %s\n",
+                    static_cast<unsigned long long>(pos),
+                    opts.str("resume").c_str());
+    }
+    if (every == 0) {
+        replayTraceFrom(trace, engine, pos, trace.size());
+    } else {
+        while (pos < trace.size()) {
+            pos = replayTraceFrom(trace, engine, pos, every);
+            CheckpointRefs refs{nullptr, &engine, &pos};
+            Status status = saveCheckpoint(ckpt_path, refs);
+            if (!status.ok())
+                pabp_fatal(status.toString());
+        }
+    }
 
     const EngineStats &s = engine.stats();
     std::printf("replayed %llu insts on %s (sfpf=%d pgu=%d)\n",
@@ -120,6 +162,13 @@ main(int argc, char **argv)
     opts.declare("size-log2", "12", "predictor size for --replay");
     opts.declare("sfpf", "0", "arm the squash filter on replay");
     opts.declare("pgu", "0", "arm predicate global update on replay");
+    opts.declare("salvage", "0",
+                 "recover the valid prefix of a damaged trace");
+    opts.declare("checkpoint-every", "0",
+                 "checkpoint the replay every N events (0 = off)");
+    opts.declare("checkpoint-file", "pabp.ckpt",
+                 "checkpoint path for --checkpoint-every");
+    opts.declare("resume", "", "resume replay from a checkpoint file");
     if (!opts.parse(argc, argv))
         return 0;
 

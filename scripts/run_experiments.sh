@@ -2,10 +2,27 @@
 # Regenerate every recorded result: build, test, run all experiments.
 # Outputs land in test_output.txt and bench_output.txt at the repo
 # root (the files EXPERIMENTS.md numbers are transcribed from).
+# Exits nonzero when the build, the tests, or ANY experiment binary
+# fails - a bench crash must not silently yield a truncated
+# bench_output.txt that looks like a complete run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
-for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+test "${PIPESTATUS[0]}" -eq 0
+
+{
+    for b in build/bench/*; do
+        if ! "$b"; then
+            echo "FAILED: $b"
+        fi
+    done
+} 2>&1 | tee bench_output.txt
+# The loop ran in the pipeline's subshell, so its verdict must be
+# recovered from the transcript.
+if grep -q '^FAILED: ' bench_output.txt; then
+    echo "error: one or more experiment binaries failed" >&2
+    exit 1
+fi

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer (the PABP_SANITIZE CMake option), in a
+# separate build tree so the regular build stays untouched. The
+# fault-injection tests are the main beneficiary: they walk every
+# degraded path in the trace/checkpoint readers, where an
+# out-of-bounds read on corrupt input would otherwise hide.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-asan}
+
+cmake -B "$BUILD_DIR" -G Ninja -DPABP_SANITIZE=ON
+cmake --build "$BUILD_DIR"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -35,6 +35,8 @@ class AgreePredictor : public BranchPredictor
     void reset() override;
     std::string name() const override;
     std::size_t storageBits() const override;
+    void saveState(StateSink &sink) const override;
+    Status loadState(StateSource &src) override;
 
   private:
     std::vector<SatCounter> agreeTable;

@@ -66,4 +66,21 @@ CombiningPredictor::storageBits() const
         chooser.size() * 2;
 }
 
+
+void
+CombiningPredictor::saveState(StateSink &sink) const
+{
+    sink.writeCounters(chooser);
+    firstPred->saveState(sink);
+    secondPred->saveState(sink);
+}
+
+Status
+CombiningPredictor::loadState(StateSource &src)
+{
+    PABP_TRY(src.readCounters(chooser));
+    PABP_TRY(firstPred->loadState(src));
+    return secondPred->loadState(src);
+}
+
 } // namespace pabp

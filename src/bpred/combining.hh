@@ -33,6 +33,8 @@ class CombiningPredictor : public BranchPredictor
     void reset() override;
     std::string name() const override;
     std::size_t storageBits() const override;
+    void saveState(StateSink &sink) const override;
+    Status loadState(StateSource &src) override;
 
   private:
     PredictorPtr firstPred;

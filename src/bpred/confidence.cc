@@ -48,4 +48,17 @@ ConfidenceEstimator::storageBits() const
     return table.size() * bits;
 }
 
+
+void
+ConfidenceEstimator::saveState(StateSink &sink) const
+{
+    sink.writePodVector(table);
+}
+
+Status
+ConfidenceEstimator::loadState(StateSource &src)
+{
+    return src.readPodVector(table, table.size());
+}
+
 } // namespace pabp

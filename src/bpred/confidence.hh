@@ -15,6 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "util/serialize.hh"
+#include "util/status.hh"
+
 namespace pabp {
 
 /** Resetting-counter confidence estimator. */
@@ -39,6 +42,9 @@ class ConfidenceEstimator
 
     void reset();
     std::size_t storageBits() const;
+
+    void saveState(StateSink &sink) const;
+    Status loadState(StateSource &src);
 
   private:
     std::vector<std::uint8_t> table;

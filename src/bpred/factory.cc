@@ -13,8 +13,8 @@
 
 namespace pabp {
 
-PredictorPtr
-makePredictor(const std::string &kind, unsigned entries_log2)
+Expected<PredictorPtr>
+tryMakePredictor(const std::string &kind, unsigned entries_log2)
 {
     if (kind == "static-taken")
         return std::make_unique<StaticPredictor>(true);
@@ -49,7 +49,17 @@ makePredictor(const std::string &kind, unsigned entries_log2)
             std::make_unique<BimodalPredictor>(half),
             std::make_unique<GSharePredictor>(half), half);
     }
-    pabp_fatal("unknown predictor kind: " + kind);
+    return Status(StatusCode::NotFound,
+                  "unknown predictor kind: " + kind);
+}
+
+PredictorPtr
+makePredictor(const std::string &kind, unsigned entries_log2)
+{
+    Expected<PredictorPtr> made = tryMakePredictor(kind, entries_log2);
+    if (!made.ok())
+        pabp_fatal(made.status().message());
+    return std::move(made.value());
 }
 
 } // namespace pabp

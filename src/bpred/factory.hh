@@ -10,6 +10,7 @@
 #include <string>
 
 #include "bpred/predictor.hh"
+#include "util/status.hh"
 
 namespace pabp {
 
@@ -27,8 +28,13 @@ namespace pabp {
  *  - "perceptron" - 24-bit-history perceptron, budget-matched rows
  *  - "comb"     - McFarling bimodal+gshare, each 2^(entries_log2-1)
  *
- * Fatal on an unknown kind.
+ * An unknown kind is a NotFound Status (kinds routinely arrive from
+ * config files and command lines).
  */
+Expected<PredictorPtr> tryMakePredictor(const std::string &kind,
+                                        unsigned entries_log2);
+
+/** CLI shim over tryMakePredictor: fatal on an unknown kind. */
 PredictorPtr makePredictor(const std::string &kind, unsigned entries_log2);
 
 } // namespace pabp

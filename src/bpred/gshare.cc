@@ -127,4 +127,35 @@ GAgPredictor::storageBits() const
     return table.size() * counterBits + histBits;
 }
 
+
+void
+GSharePredictor::saveState(StateSink &sink) const
+{
+    // Conflict-profiling state (bench E16) is diagnostic, not
+    // architectural, and is deliberately not checkpointed.
+    sink.writeCounters(table);
+    sink.writeU64(ghr);
+}
+
+Status
+GSharePredictor::loadState(StateSource &src)
+{
+    PABP_TRY(src.readCounters(table));
+    return src.readPod(ghr);
+}
+
+void
+GAgPredictor::saveState(StateSink &sink) const
+{
+    sink.writeCounters(table);
+    sink.writeU64(ghr);
+}
+
+Status
+GAgPredictor::loadState(StateSource &src)
+{
+    PABP_TRY(src.readCounters(table));
+    return src.readPod(ghr);
+}
+
 } // namespace pabp

@@ -37,6 +37,8 @@ class GSharePredictor : public BranchPredictor
     void reset() override;
     std::string name() const override;
     std::size_t storageBits() const override;
+    void saveState(StateSink &sink) const override;
+    Status loadState(StateSource &src) override;
 
     std::uint64_t history() const { return ghr; }
     unsigned historyBits() const { return histBits; }
@@ -86,6 +88,8 @@ class GAgPredictor : public BranchPredictor
     void reset() override;
     std::string name() const override;
     std::size_t storageBits() const override;
+    void saveState(StateSink &sink) const override;
+    Status loadState(StateSource &src) override;
 
   private:
     std::vector<SatCounter> table;

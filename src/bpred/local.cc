@@ -60,4 +60,19 @@ LocalPredictor::storageBits() const
     return bht.size() * localBits + pht.size() * counterBits;
 }
 
+
+void
+LocalPredictor::saveState(StateSink &sink) const
+{
+    sink.writePodVector(bht);
+    sink.writeCounters(pht);
+}
+
+Status
+LocalPredictor::loadState(StateSource &src)
+{
+    PABP_TRY(src.readPodVector(bht, bht.size()));
+    return src.readCounters(pht);
+}
+
 } // namespace pabp

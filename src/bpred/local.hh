@@ -32,6 +32,8 @@ class LocalPredictor : public BranchPredictor
     void reset() override;
     std::string name() const override;
     std::size_t storageBits() const override;
+    void saveState(StateSink &sink) const override;
+    Status loadState(StateSource &src) override;
 
   private:
     std::vector<std::uint32_t> bht;

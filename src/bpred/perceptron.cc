@@ -97,4 +97,19 @@ PerceptronPredictor::storageBits() const
     return weights.size() * weight_bits + histBits;
 }
 
+
+void
+PerceptronPredictor::saveState(StateSink &sink) const
+{
+    sink.writePodVector(weights);
+    sink.writeU64(ghr);
+}
+
+Status
+PerceptronPredictor::loadState(StateSource &src)
+{
+    PABP_TRY(src.readPodVector(weights, weights.size()));
+    return src.readPod(ghr);
+}
+
 } // namespace pabp

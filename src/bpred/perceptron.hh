@@ -36,6 +36,8 @@ class PerceptronPredictor : public BranchPredictor
     void reset() override;
     std::string name() const override;
     std::size_t storageBits() const override;
+    void saveState(StateSink &sink) const override;
+    Status loadState(StateSource &src) override;
 
     std::uint64_t history() const { return ghr; }
 

@@ -21,6 +21,9 @@
 #include <memory>
 #include <string>
 
+#include "util/serialize.hh"
+#include "util/status.hh"
+
 namespace pabp {
 
 /** Abstract direction predictor. */
@@ -48,6 +51,26 @@ class BranchPredictor
 
     /** Forget all state. */
     virtual void reset() = 0;
+
+    /**
+     * @name Checkpointing
+     * Serialise/restore the predictor's dynamic state (counters,
+     * histories, tags) - configuration is not stored; a checkpoint
+     * only restores into an identically-configured predictor, which
+     * loadState() verifies via table geometry. The default pair is
+     * for stateless predictors. Transient predict()-to-update()
+     * latches need no saving: checkpoints are only taken between
+     * whole process() steps. See docs/ROBUSTNESS.md.
+     * @{
+     */
+    virtual void saveState(StateSink &sink) const { (void)sink; }
+    virtual Status
+    loadState(StateSource &src)
+    {
+        (void)src;
+        return Status();
+    }
+    /** @} */
 
     /** Human-readable name, e.g. "gshare-4K". */
     virtual std::string name() const = 0;

@@ -43,4 +43,17 @@ BimodalPredictor::storageBits() const
     return table.size() * counterBits;
 }
 
+
+void
+BimodalPredictor::saveState(StateSink &sink) const
+{
+    sink.writeCounters(table);
+}
+
+Status
+BimodalPredictor::loadState(StateSource &src)
+{
+    return src.readCounters(table);
+}
+
 } // namespace pabp

@@ -39,6 +39,8 @@ class YagsPredictor : public BranchPredictor
     void reset() override;
     std::string name() const override;
     std::size_t storageBits() const override;
+    void saveState(StateSink &sink) const override;
+    Status loadState(StateSource &src) override;
 
   private:
     struct CacheEntry

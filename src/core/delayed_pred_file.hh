@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "isa/inst.hh"
+#include "util/serialize.hh"
+#include "util/status.hh"
 
 namespace pabp {
 
@@ -61,6 +63,9 @@ class DelayedPredicateFile
 
     unsigned delay() const { return visDelay; }
     void reset();
+
+    void saveState(StateSink &sink) const;
+    Status loadState(StateSource &src);
 
   private:
     struct Pending

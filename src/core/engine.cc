@@ -141,6 +141,121 @@ PredictionEngine::resetStats()
     sfpf.resetStats();
 }
 
+namespace {
+
+/** The fields of EngineStats, serialised in one fixed order. */
+template <typename StatsT, typename Fn>
+void
+forEachStatsField(StatsT &stats, Fn &&fn)
+{
+    fn(stats.insts);
+    fn(stats.uncondBranches);
+    fn(stats.predicateDefines);
+    for (auto *cls : {&stats.all, &stats.region, &stats.normal}) {
+        fn(cls->branches);
+        fn(cls->taken);
+        fn(cls->mispredicts);
+        fn(cls->squashed);
+        fn(cls->falseGuard);
+    }
+    fn(stats.specSquashed);
+    fn(stats.specSquashedWrong);
+}
+
+} // anonymous namespace
+
+void
+PredictionEngine::saveState(StateSink &sink) const
+{
+    // Configuration fingerprint: a checkpoint must only restore into
+    // an engine armed the same way, or the resumed run would diverge
+    // silently from the original.
+    sink.writeBool(cfg.useSfpf);
+    sink.writeBool(cfg.usePgu);
+    sink.writeU32(cfg.availDelay);
+    sink.writeBool(cfg.trainOnSquashed);
+    sink.writeBool(cfg.conservativeDefTracking);
+    sink.writeBool(cfg.useSpeculativeSquash);
+    sink.writeU32(cfg.pvpEntriesLog2);
+    sink.writeU8(static_cast<std::uint8_t>(cfg.specGate));
+    sink.writeU32(cfg.jrsEntriesLog2);
+    sink.writeU8(static_cast<std::uint8_t>(cfg.pgu.source));
+    sink.writeU8(static_cast<std::uint8_t>(cfg.pgu.value));
+    sink.writeBool(cfg.pgu.includePSet);
+    sink.writeU32(cfg.pgu.delay);
+
+    forEachStatsField(engineStats,
+                      [&](const std::uint64_t &v) { sink.writeU64(v); });
+
+    predFile.saveState(sink);
+    sfpf.saveState(sink);
+    pgu.saveState(sink);
+    pvp.saveState(sink);
+    jrs.saveState(sink);
+
+    sink.writeString(pred.name());
+    pred.saveState(sink);
+}
+
+Status
+PredictionEngine::loadState(StateSource &src)
+{
+    bool use_sfpf, use_pgu, train_on_squashed, conservative, spec;
+    bool pgu_pset;
+    std::uint32_t avail_delay, pvp_log2, jrs_log2, pgu_delay;
+    std::uint8_t spec_gate, pgu_source, pgu_value;
+    PABP_TRY(src.readBool(use_sfpf));
+    PABP_TRY(src.readBool(use_pgu));
+    PABP_TRY(src.readPod(avail_delay));
+    PABP_TRY(src.readBool(train_on_squashed));
+    PABP_TRY(src.readBool(conservative));
+    PABP_TRY(src.readBool(spec));
+    PABP_TRY(src.readPod(pvp_log2));
+    PABP_TRY(src.readPod(spec_gate));
+    PABP_TRY(src.readPod(jrs_log2));
+    PABP_TRY(src.readPod(pgu_source));
+    PABP_TRY(src.readPod(pgu_value));
+    PABP_TRY(src.readBool(pgu_pset));
+    PABP_TRY(src.readPod(pgu_delay));
+    bool config_matches = use_sfpf == cfg.useSfpf &&
+        use_pgu == cfg.usePgu && avail_delay == cfg.availDelay &&
+        train_on_squashed == cfg.trainOnSquashed &&
+        conservative == cfg.conservativeDefTracking &&
+        spec == cfg.useSpeculativeSquash &&
+        pvp_log2 == cfg.pvpEntriesLog2 &&
+        spec_gate == static_cast<std::uint8_t>(cfg.specGate) &&
+        jrs_log2 == cfg.jrsEntriesLog2 &&
+        pgu_source == static_cast<std::uint8_t>(cfg.pgu.source) &&
+        pgu_value == static_cast<std::uint8_t>(cfg.pgu.value) &&
+        pgu_pset == cfg.pgu.includePSet && pgu_delay == cfg.pgu.delay;
+    if (!config_matches)
+        return Status(StatusCode::InvalidArgument,
+                      "checkpoint was taken with a different engine "
+                      "configuration");
+
+    Status stats_status = Status();
+    forEachStatsField(engineStats, [&](std::uint64_t &v) {
+        if (stats_status.ok())
+            stats_status = src.readPod(v);
+    });
+    PABP_TRY(std::move(stats_status));
+
+    PABP_TRY(predFile.loadState(src));
+    PABP_TRY(sfpf.loadState(src));
+    PABP_TRY(pgu.loadState(src));
+    PABP_TRY(pvp.loadState(src));
+    PABP_TRY(jrs.loadState(src));
+
+    std::string pred_name;
+    PABP_TRY(src.readString(pred_name));
+    if (pred_name != pred.name())
+        return Status(StatusCode::InvalidArgument,
+                      "checkpoint predictor '" + pred_name +
+                          "' != configured predictor '" + pred.name() +
+                          "'");
+    return pred.loadState(src);
+}
+
 std::uint64_t
 runTrace(Emulator &emu, PredictionEngine &engine, std::uint64_t max_insts)
 {
@@ -157,11 +272,20 @@ std::uint64_t
 replayTrace(const RecordedTrace &trace, PredictionEngine &engine,
             std::uint64_t max_insts)
 {
-    std::uint64_t limit =
-        std::min<std::uint64_t>(max_insts, trace.size());
-    for (std::uint64_t i = 0; i < limit; ++i)
+    return replayTraceFrom(trace, engine, 0, max_insts);
+}
+
+std::uint64_t
+replayTraceFrom(const RecordedTrace &trace, PredictionEngine &engine,
+                std::uint64_t first, std::uint64_t max_insts)
+{
+    if (first >= trace.size())
+        return trace.size();
+    std::uint64_t count =
+        std::min<std::uint64_t>(max_insts, trace.size() - first);
+    for (std::uint64_t i = first; i < first + count; ++i)
         engine.process(trace.materialise(i));
-    return limit;
+    return first + count;
 }
 
 } // namespace pabp

@@ -69,6 +69,8 @@ struct BranchClassStats
                 static_cast<double>(branches)
             : 0.0;
     }
+
+    bool operator==(const BranchClassStats &) const = default;
 };
 
 /** All engine statistics. */
@@ -96,6 +98,10 @@ struct EngineStats
                 static_cast<double>(insts)
             : 0.0;
     }
+
+    /** Exact equality - the checkpoint/resume equivalence tests
+     *  require bit-identical counters, not tolerances. */
+    bool operator==(const EngineStats &) const = default;
 };
 
 /** What the engine decided for one instruction (pipeline feedback). */
@@ -120,6 +126,19 @@ class PredictionEngine
 
     /** Zero the counters; predictor and history state persist. */
     void resetStats();
+
+    /**
+     * @name Checkpointing
+     * Serialise/restore everything the engine needs to continue a
+     * run bit-identically: stats, the delayed predicate file, both
+     * queues, the speculation tables, and the base predictor's own
+     * state (keyed by its name() so a checkpoint cannot be restored
+     * into a differently-configured engine). Used by sim/checkpoint.
+     * @{
+     */
+    void saveState(StateSink &sink) const;
+    Status loadState(StateSource &src);
+    /** @} */
 
   private:
     BranchPredictor &pred;
@@ -150,6 +169,15 @@ std::uint64_t runTrace(Emulator &emu, PredictionEngine &engine,
 std::uint64_t replayTrace(const RecordedTrace &trace,
                           PredictionEngine &engine,
                           std::uint64_t max_insts);
+
+/**
+ * Replay starting at event @p first (a position restored from a
+ * checkpoint). Returns the index one past the last event processed.
+ */
+std::uint64_t replayTraceFrom(const RecordedTrace &trace,
+                              PredictionEngine &engine,
+                              std::uint64_t first,
+                              std::uint64_t max_insts);
 
 } // namespace pabp
 

@@ -24,6 +24,8 @@
 #include "bpred/predictor.hh"
 #include "isa/inst.hh"
 #include "sim/emulator.hh"
+#include "util/serialize.hh"
+#include "util/status.hh"
 
 namespace pabp {
 
@@ -76,6 +78,11 @@ class PredicateGlobalUpdate
     std::uint64_t bitsInserted() const { return inserted; }
     const PguConfig &config() const { return cfg; }
     void reset();
+
+    /** Pending-bit queue and insertion count; the base predictor's
+     *  own state is checkpointed by its owner. */
+    void saveState(StateSink &sink) const;
+    Status loadState(StateSource &src);
 
   private:
     struct Pending

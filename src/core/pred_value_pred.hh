@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "util/sat_counter.hh"
+#include "util/serialize.hh"
+#include "util/status.hh"
 
 namespace pabp {
 
@@ -38,6 +40,9 @@ class PredicateValuePredictor
 
     void reset();
     std::size_t storageBits() const { return table.size() * 2; }
+
+    void saveState(StateSink &sink) const { sink.writeCounters(table); }
+    Status loadState(StateSource &src) { return src.readCounters(table); }
 
   private:
     std::vector<SatCounter> table;

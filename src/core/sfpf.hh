@@ -17,6 +17,8 @@
 
 #include "core/delayed_pred_file.hh"
 #include "isa/inst.hh"
+#include "util/serialize.hh"
+#include "util/status.hh"
 
 namespace pabp {
 
@@ -45,6 +47,9 @@ class SquashFalsePathFilter
     std::uint64_t squashes() const { return squashCount; }
     void noteSquash() { ++squashCount; }
     void resetStats() { squashCount = 0; }
+
+    void saveState(StateSink &sink) const { sink.writeU64(squashCount); }
+    Status loadState(StateSource &src) { return src.readPod(squashCount); }
 
   private:
     const DelayedPredicateFile &predFile;

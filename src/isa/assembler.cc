@@ -11,7 +11,7 @@ namespace pabp {
 
 namespace {
 
-/** Thrown internally; converted to AssembleResult::error. */
+/** Thrown internally; converted to a ParseError Status. */
 struct AsmError
 {
     std::string message;
@@ -201,11 +201,11 @@ aluFromName(const std::string &name)
 class Assembler
 {
   public:
-    AssembleResult
+    Expected<Program>
     run(const std::string &source, const std::string &name)
     {
-        AssembleResult result;
-        result.prog.name = name;
+        Program prog;
+        prog.name = name;
 
         std::istringstream stream(source);
         std::string line;
@@ -217,12 +217,12 @@ class Assembler
             }
             resolveFixups();
         } catch (const AsmError &error) {
-            result.error = "line " + std::to_string(line_no) + ": " +
-                error.message;
-            return result;
+            return Status(StatusCode::ParseError,
+                          "line " + std::to_string(line_no) + ": " +
+                              error.message);
         }
-        result.prog.insts = std::move(insts);
-        return result;
+        prog.insts = std::move(insts);
+        return prog;
     }
 
   private:
@@ -411,7 +411,7 @@ class Assembler
 
 } // anonymous namespace
 
-AssembleResult
+Expected<Program>
 assembleProgram(const std::string &source, const std::string &name)
 {
     Assembler assembler;

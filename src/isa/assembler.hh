@@ -21,23 +21,15 @@
 #include <string>
 
 #include "isa/program.hh"
+#include "util/status.hh"
 
 namespace pabp {
 
-/** Result of assembling a source string. */
-struct AssembleResult
-{
-    Program prog;
-    /** Empty on success, else "line N: message". */
-    std::string error;
-
-    bool ok() const { return error.empty(); }
-};
-
-/** Assemble source text into a program. Never throws; syntax errors
- *  are reported via AssembleResult::error. */
-AssembleResult assembleProgram(const std::string &source,
-                               const std::string &name = "asm");
+/** Assemble source text into a program. Never throws or aborts;
+ *  syntax errors come back as a ParseError Status whose message is
+ *  "line N: what went wrong". */
+Expected<Program> assembleProgram(const std::string &source,
+                                  const std::string &name = "asm");
 
 } // namespace pabp
 

@@ -143,6 +143,18 @@ decode(const EncodedInst &enc)
     return inst;
 }
 
+std::optional<Inst>
+tryDecode(const EncodedInst &enc)
+{
+    auto op_field = extract(enc.word0, opShift, 8);
+    if (op_field >= static_cast<std::uint64_t>(Opcode::NumOpcodes))
+        return std::nullopt;
+    auto ctype_field = extract(enc.word0, ctypeShift, 3);
+    if (ctype_field > static_cast<std::uint64_t>(CmpType::AndOrcm))
+        return std::nullopt;
+    return decode(enc);
+}
+
 Inst
 makeNop()
 {

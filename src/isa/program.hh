@@ -11,6 +11,7 @@
 #define PABP_ISA_PROGRAM_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,13 @@ EncodedInst encode(const Inst &inst);
 
 /** Decode an instruction. Panics on an invalid opcode field. */
 Inst decode(const EncodedInst &enc);
+
+/**
+ * Decode an instruction that may come from an untrusted source (a
+ * corrupt trace file): returns nullopt on an invalid opcode or
+ * compare-type field instead of panicking.
+ */
+std::optional<Inst> tryDecode(const EncodedInst &enc);
 
 /**
  * @name Assembler helpers

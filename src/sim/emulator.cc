@@ -1,5 +1,7 @@
 #include "sim/emulator.hh"
 
+#include <limits>
+
 #include "util/logging.hh"
 
 namespace pabp {
@@ -118,11 +120,31 @@ Emulator::step(DynInst &out)
         std::int64_t b =
             inst.hasImm ? inst.imm : archState.readGpr(inst.src2);
         std::int64_t result = 0;
+        // Guest integer arithmetic wraps (two's complement); compute
+        // in unsigned to keep host-side signed overflow out of it.
+        auto ua = static_cast<std::uint64_t>(a);
+        auto ub = static_cast<std::uint64_t>(b);
         switch (inst.op) {
-          case Opcode::Add: result = a + b; break;
-          case Opcode::Sub: result = a - b; break;
-          case Opcode::Mul: result = a * b; break;
-          case Opcode::Div: result = b ? a / b : 0; break;
+          case Opcode::Add:
+            result = static_cast<std::int64_t>(ua + ub);
+            break;
+          case Opcode::Sub:
+            result = static_cast<std::int64_t>(ua - ub);
+            break;
+          case Opcode::Mul:
+            result = static_cast<std::int64_t>(ua * ub);
+            break;
+          case Opcode::Div:
+            // INT64_MIN / -1 also traps on real hardware; define it
+            // as wrapping to INT64_MIN like the other ops.
+            if (b == 0)
+                result = 0;
+            else if (a == std::numeric_limits<std::int64_t>::min() &&
+                     b == -1)
+                result = a;
+            else
+                result = a / b;
+            break;
           case Opcode::And: result = a & b; break;
           case Opcode::Or: result = a | b; break;
           case Opcode::Xor: result = a ^ b; break;
@@ -212,6 +234,32 @@ Emulator::run(std::uint64_t max_insts)
         if (!step(record))
             return;
     }
+}
+
+
+void
+Emulator::saveState(StateSink &sink) const
+{
+    sink.writeU64(prog.size());
+    sink.writeU64(executed);
+    sink.writeBool(fuse);
+    archState.saveState(sink);
+}
+
+Status
+Emulator::loadState(StateSource &src)
+{
+    std::uint64_t prog_size = 0;
+    PABP_TRY(src.readPod(prog_size));
+    if (prog_size != prog.size())
+        return Status(StatusCode::InvalidArgument,
+                      "checkpoint program has " +
+                          std::to_string(prog_size) +
+                          " instructions, this emulator's has " +
+                          std::to_string(prog.size()));
+    PABP_TRY(src.readPod(executed));
+    PABP_TRY(src.readBool(fuse));
+    return archState.loadState(src);
 }
 
 } // namespace pabp

@@ -16,17 +16,21 @@ Options::declare(const std::string &name, const std::string &default_value,
     order.push_back(name);
 }
 
-bool
-Options::parse(int argc, const char *const *argv)
+Status
+Options::tryParse(int argc, const char *const *argv,
+                  bool &help_requested)
 {
+    help_requested = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             printHelp(argv[0]);
-            return false;
+            help_requested = true;
+            return Status();
         }
         if (arg.rfind("--", 0) != 0)
-            pabp_fatal("unexpected argument: " + arg);
+            return Status(StatusCode::InvalidArgument,
+                          "unexpected argument: " + arg);
         arg = arg.substr(2);
 
         std::string name, value;
@@ -45,10 +49,21 @@ Options::parse(int argc, const char *const *argv)
             }
         }
         if (!decls.count(name))
-            pabp_fatal("unknown option: --" + name);
+            return Status(StatusCode::InvalidArgument,
+                          "unknown option: --" + name);
         values[name] = value;
     }
-    return true;
+    return Status();
+}
+
+bool
+Options::parse(int argc, const char *const *argv)
+{
+    bool help_requested = false;
+    Status status = tryParse(argc, argv, help_requested);
+    if (!status.ok())
+        pabp_fatal(status.message());
+    return !help_requested;
 }
 
 std::string

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.hh"
+
 namespace pabp {
 
 /** Declarative command-line options with defaults. */
@@ -24,8 +26,16 @@ class Options
                  const std::string &help);
 
     /**
-     * Parse argv. Unknown options are fatal. Returns false when
-     * --help was requested (help text printed to stdout).
+     * Parse argv. Unknown options and stray arguments come back as
+     * an InvalidArgument Status; @p help_requested is set when
+     * --help/-h was seen (help text printed to stdout).
+     */
+    Status tryParse(int argc, const char *const *argv,
+                    bool &help_requested);
+
+    /**
+     * CLI shim over tryParse: unknown options are fatal. Returns
+     * false when --help was requested.
      */
     bool parse(int argc, const char *const *argv);
 

@@ -68,6 +68,10 @@ class SatCounter
     bool isSaturated() const { return value == 0 || value == maxValue; }
 
     std::uint8_t raw() const { return value; }
+
+    /** Restore a checkpointed value; masked into range. */
+    void setRaw(std::uint8_t v) { value = v & maxValue; }
+
     unsigned numBits() const { return bits; }
 
   private:

@@ -19,9 +19,9 @@ namespace {
 Program
 mustAssemble(const std::string &source)
 {
-    AssembleResult result = assembleProgram(source);
-    EXPECT_TRUE(result.ok()) << result.error;
-    return result.prog;
+    Expected<Program> result = assembleProgram(source);
+    EXPECT_TRUE(result.ok()) << result.status().toString();
+    return result.ok() ? result.value() : Program{};
 }
 
 TEST(Assembler, AluForms)
@@ -106,7 +106,10 @@ TEST(Assembler, CommentsAndBlankLines)
 
 TEST(Assembler, ErrorsAreReportedWithLineNumbers)
 {
-    EXPECT_NE(assembleProgram("bogus r1 = r2\n").error.find("line 1"),
+    Expected<Program> bad = assembleProgram("bogus r1 = r2\n");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::ParseError);
+    EXPECT_NE(bad.status().message().find("line 1"),
               std::string::npos);
     EXPECT_FALSE(assembleProgram("mov r99 = 1\n").ok());
     EXPECT_FALSE(assembleProgram("add r1 = r2\n").ok());   // missing src2
@@ -162,17 +165,17 @@ TEST_P(AsmRoundTrip, DisassembleAssembleIsIdentity)
         copts.ifConvert = if_convert;
         CompiledProgram cp = compileWorkload(wl, copts);
 
-        AssembleResult back =
+        Expected<Program> back =
             assembleProgram(listingToSource(cp.prog.disassembleAll()));
-        ASSERT_TRUE(back.ok()) << back.error;
-        ASSERT_EQ(back.prog.size(), cp.prog.size());
+        ASSERT_TRUE(back.ok()) << back.status().toString();
+        ASSERT_EQ(back.value().size(), cp.prog.size());
         for (std::size_t pc = 0; pc < cp.prog.size(); ++pc) {
             // Compare semantic encodings (metadata is not part of
             // the textual syntax beyond comments).
             Inst expect = cp.prog.insts[pc];
             expect.regionId = -1;
             expect.regionBranch = false;
-            Inst got = back.prog.insts[pc];
+            Inst got = back.value().insts[pc];
             got.regionBranch = false;
             EXPECT_EQ(encode(got), encode(expect))
                 << GetParam() << " pc " << pc << ": "

@@ -1,8 +1,11 @@
 /**
  * @file
- * Trace record/replay tests: round trips through memory and disk, and
- * the key property that replaying a recorded trace produces *exactly*
- * the same prediction statistics as a live run.
+ * Trace record/replay tests: round trips through memory and disk, the
+ * key property that replaying a recorded trace produces *exactly* the
+ * same prediction statistics as a live run, and the PABPTRC2
+ * hardening guarantees - every corruption or truncation of the byte
+ * stream yields a typed Status (never a process abort), v1 traces
+ * still load, and salvage mode recovers the longest valid prefix.
  */
 
 #include <gtest/gtest.h>
@@ -28,6 +31,35 @@ recordWorkload(const std::string &name, std::uint64_t steps)
     if (wl.init)
         wl.init(emu.state());
     return recordTrace(emu, steps);
+}
+
+std::string
+serializeV2(const RecordedTrace &trace)
+{
+    std::stringstream buffer;
+    writeTrace(trace, buffer);
+    return buffer.str();
+}
+
+Expected<RecordedTrace>
+readFromBytes(const std::string &bytes, const TraceReadOptions &opts = {},
+              TraceReadInfo *info = nullptr)
+{
+    std::istringstream is(bytes);
+    return readTrace(is, opts, info);
+}
+
+// v2 layout offsets (see trace_io.hh): the header is 32 bytes
+// (magic 8, version 4, numInsts 8, numEvents 8, headerCrc 4).
+constexpr std::size_t v2HeaderBytes = 32;
+constexpr std::size_t instRecordBytes = 20;
+constexpr std::size_t eventRecordBytes = 12;
+constexpr std::size_t blockCapacity = 4096;
+
+std::size_t
+programSectionEnd(const RecordedTrace &trace)
+{
+    return v2HeaderBytes + trace.prog.size() * instRecordBytes + 4;
 }
 
 TEST(TraceIo, RecordCapturesEvents)
@@ -61,9 +93,15 @@ TEST(TraceIo, StreamRoundTripExact)
     RecordedTrace trace = recordWorkload("histogram", 30000);
     std::stringstream buffer;
     std::uint64_t bytes = writeTrace(trace, buffer);
-    EXPECT_GT(bytes, trace.size() * 12);
+    EXPECT_GT(bytes, trace.size() * eventRecordBytes);
 
-    RecordedTrace back = readTrace(buffer);
+    TraceReadInfo info;
+    Expected<RecordedTrace> loaded = readTrace(buffer, {}, &info);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    EXPECT_EQ(info.version, 2u);
+    EXPECT_FALSE(info.salvaged);
+
+    const RecordedTrace &back = loaded.value();
     ASSERT_EQ(back.size(), trace.size());
     ASSERT_EQ(back.prog.size(), trace.prog.size());
     for (std::size_t i = 0; i < trace.size(); ++i)
@@ -76,12 +114,169 @@ TEST(TraceIo, StreamRoundTripExact)
     }
 }
 
-TEST(TraceIo, BadMagicRejected)
+TEST(TraceIo, BadMagicIsTypedError)
 {
+    Expected<RecordedTrace> loaded = readFromBytes("NOTATRACE-------");
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::BadMagic);
+}
+
+TEST(TraceIo, UnknownContainerVersionIsTypedError)
+{
+    RecordedTrace trace = recordWorkload("rle", 1000);
+    std::string bytes = serializeV2(trace);
+    bytes[7] = '9'; // "PABPTRC9"
+    Expected<RecordedTrace> loaded = readFromBytes(bytes);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::VersionMismatch);
+}
+
+TEST(TraceIo, HeaderCorruptionFailsChecksum)
+{
+    RecordedTrace trace = recordWorkload("rle", 1000);
+    std::string bytes = serializeV2(trace);
+    bytes[12] ^= 0x40; // inside numInsts
+    Expected<RecordedTrace> loaded = readFromBytes(bytes);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::ChecksumMismatch);
+}
+
+TEST(TraceIo, ProgramCorruptionFailsChecksum)
+{
+    RecordedTrace trace = recordWorkload("rle", 1000);
+    std::string bytes = serializeV2(trace);
+    bytes[v2HeaderBytes + 3] ^= 0x01;
+    Expected<RecordedTrace> loaded = readFromBytes(bytes);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::ChecksumMismatch);
+}
+
+TEST(TraceIo, EventCorruptionFailsChecksum)
+{
+    RecordedTrace trace = recordWorkload("rle", 1000);
+    std::string bytes = serializeV2(trace);
+    bytes[programSectionEnd(trace) + 4 + 7] ^= 0x80;
+    Expected<RecordedTrace> loaded = readFromBytes(bytes);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::ChecksumMismatch);
+}
+
+TEST(TraceIo, FooterCorruptionIsTypedError)
+{
+    RecordedTrace trace = recordWorkload("rle", 1000);
+    std::string bytes = serializeV2(trace);
+    bytes.back() ^= 0xff;
+    Expected<RecordedTrace> loaded = readFromBytes(bytes);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::Corrupt);
+}
+
+TEST(TraceIo, TruncationAtEverySectionBoundaryIsTyped)
+{
+    RecordedTrace trace = recordWorkload("rle", 1000);
+    std::string bytes = serializeV2(trace);
+    std::size_t prog_end = programSectionEnd(trace);
+    // Structural boundaries: inside the magic, after the magic,
+    // inside the header, after the header CRC, inside the program
+    // section, just before / after the program CRC, inside the first
+    // event block, and just before the footer sentinel.
+    const std::size_t cuts[] = {
+        0,  4,  8,  20, v2HeaderBytes,
+        v2HeaderBytes + instRecordBytes + 3,
+        prog_end - 4, prog_end, prog_end + 2,
+        prog_end + 4 + 5 * eventRecordBytes,
+        bytes.size() - 8, bytes.size() - 1,
+    };
+    for (std::size_t cut : cuts) {
+        ASSERT_LT(cut, bytes.size());
+        Expected<RecordedTrace> loaded =
+            readFromBytes(bytes.substr(0, cut));
+        ASSERT_FALSE(loaded.ok()) << "cut at " << cut;
+        EXPECT_EQ(loaded.status().code(), StatusCode::Truncated)
+            << "cut at " << cut << ": " << loaded.status().toString();
+    }
+}
+
+TEST(TraceIo, V1TracesStillLoad)
+{
+    RecordedTrace trace = recordWorkload("histogram", 20000);
     std::stringstream buffer;
-    buffer << "NOTATRACE-------";
-    EXPECT_EXIT(readTrace(buffer), ::testing::ExitedWithCode(1),
-                "bad magic");
+    writeTraceV1(trace, buffer);
+
+    TraceReadInfo info;
+    Expected<RecordedTrace> loaded = readTrace(buffer, {}, &info);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    EXPECT_EQ(info.version, 1u);
+    ASSERT_EQ(loaded.value().size(), trace.size());
+    EXPECT_EQ(loaded.value().events, trace.events);
+}
+
+TEST(TraceIo, V1TruncationIsTypedError)
+{
+    RecordedTrace trace = recordWorkload("rle", 500);
+    std::stringstream buffer;
+    writeTraceV1(trace, buffer);
+    std::string bytes = buffer.str();
+
+    Expected<RecordedTrace> loaded =
+        readFromBytes(bytes.substr(0, bytes.size() / 2));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::Truncated);
+}
+
+TEST(TraceIo, SalvageRecoversWholeBlockPrefix)
+{
+    // Three event blocks (4096 + 4096 + 1808); damage block two.
+    RecordedTrace trace = recordWorkload("dchain", 10000);
+    ASSERT_GT(trace.size(), 2 * blockCapacity);
+    std::string bytes = serializeV2(trace);
+    std::size_t block_bytes = 4 + blockCapacity * eventRecordBytes + 4;
+    std::size_t in_block2 = programSectionEnd(trace) + block_bytes + 100;
+    bytes[in_block2] ^= 0x10;
+
+    // Strict read refuses.
+    Expected<RecordedTrace> strict = readFromBytes(bytes);
+    ASSERT_FALSE(strict.ok());
+    EXPECT_EQ(strict.status().code(), StatusCode::ChecksumMismatch);
+
+    // Salvage keeps exactly the first (valid) block.
+    TraceReadOptions opts;
+    opts.salvage = true;
+    TraceReadInfo info;
+    Expected<RecordedTrace> salvaged = readFromBytes(bytes, opts, &info);
+    ASSERT_TRUE(salvaged.ok()) << salvaged.status().toString();
+    EXPECT_TRUE(info.salvaged);
+    EXPECT_EQ(salvaged.value().size(), blockCapacity);
+    EXPECT_EQ(info.eventsDropped, trace.size() - blockCapacity);
+    for (std::size_t i = 0; i < blockCapacity; ++i)
+        ASSERT_EQ(salvaged.value().events[i], trace.events[i]);
+}
+
+TEST(TraceIo, SalvageCannotRescueDamagedProgram)
+{
+    RecordedTrace trace = recordWorkload("rle", 1000);
+    std::string bytes = serializeV2(trace);
+    bytes[v2HeaderBytes + 1] ^= 0x02;
+    TraceReadOptions opts;
+    opts.salvage = true;
+    Expected<RecordedTrace> loaded = readFromBytes(bytes, opts);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::ChecksumMismatch);
+}
+
+TEST(TraceIo, SalvageKeepsEverythingOnFooterDamage)
+{
+    RecordedTrace trace = recordWorkload("rle", 1000);
+    std::string bytes = serializeV2(trace);
+    bytes.back() ^= 0xff;
+    TraceReadOptions opts;
+    opts.salvage = true;
+    TraceReadInfo info;
+    Expected<RecordedTrace> loaded = readFromBytes(bytes, opts, &info);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_TRUE(info.salvaged);
+    EXPECT_EQ(info.eventsDropped, 0u);
+    EXPECT_EQ(loaded.value().size(), trace.size());
 }
 
 TEST(TraceIo, FileRoundTrip)
@@ -92,6 +287,14 @@ TEST(TraceIo, FileRoundTrip)
     RecordedTrace back = loadTraceFile(path);
     EXPECT_EQ(back.size(), trace.size());
     std::remove(path.c_str());
+}
+
+TEST(TraceIo, TryLoadMissingFileIsTypedError)
+{
+    Expected<RecordedTrace> loaded =
+        tryLoadTraceFile(::testing::TempDir() + "pabp_no_such.trace");
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::IoError);
 }
 
 class ReplayEquivalence : public ::testing::TestWithParam<std::string>
