@@ -83,30 +83,35 @@ main(int argc, char **argv)
 
     std::cout << "E10: design ablations (suite means, gshare-4K)\n\n";
 
+    std::vector<RunSpec> specs;
+    for (const Ablation &ablation : ablations) {
+        for (const std::string &name : workloadNames()) {
+            RunSpec spec;
+            spec.workload = name;
+            ablation.apply(spec.engine);
+            spec.maxInsts = steps;
+            spec.seed = seed;
+            specs.push_back(spec);
+        }
+    }
+
+    SweepRunner runner(sweepConfigFromOptions(opts));
+    std::vector<RunResult> results = runner.run(specs);
+
     Table table({"configuration", "mispredict", "squash%",
                  "pgu-bits/kinst"});
+    std::size_t idx = 0;
     for (const Ablation &ablation : ablations) {
         double sum_rate = 0.0, sum_squash = 0.0, sum_bits = 0.0;
-        for (const std::string &name : workloadNames()) {
-            Workload wl = makeWorkload(name, seed);
-            CompileOptions copts;
-            CompiledProgram cp = compileWorkload(wl, copts);
-            PredictorPtr pred = makePredictor("gshare", 12);
-            EngineConfig ecfg;
-            ablation.apply(ecfg);
-            PredictionEngine engine(*pred, ecfg);
-            Emulator emu(cp.prog);
-            if (wl.init)
-                wl.init(emu.state());
-            runTrace(emu, engine, steps);
-            const EngineStats &stats = engine.stats();
+        for (std::size_t w = 0; w < workloadNames().size(); ++w) {
+            const RunResult &result = results[idx++];
+            const EngineStats &stats = result.engine;
             sum_rate += stats.all.mispredictRate();
             sum_squash += stats.all.branches
                 ? static_cast<double>(stats.all.squashed) /
                     static_cast<double>(stats.all.branches)
                 : 0.0;
-            sum_bits += 1000.0 *
-                static_cast<double>(engine.pguBitsInserted()) /
+            sum_bits += 1000.0 * static_cast<double>(result.pguBits) /
                 static_cast<double>(stats.insts);
         }
         double n = static_cast<double>(workloadNames().size());
@@ -118,5 +123,5 @@ main(int argc, char **argv)
     }
 
     emitTable(table, opts);
-    return 0;
+    return exitStatus(specs, results);
 }

@@ -8,10 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "bpred/factory.hh"
 #include "core/engine.hh"
 #include "sim/emulator.hh"
 #include "util/rng.hh"
+#include "util/thread_pool.hh"
 #include "workloads/workload.hh"
 
 namespace {
@@ -91,6 +94,32 @@ BM_EngineThroughput(benchmark::State &state)
 }
 
 BENCHMARK(BM_EngineThroughput)->Unit(benchmark::kMillisecond);
+
+void
+BM_ThreadPoolDispatch(benchmark::State &state)
+{
+    // Cost of pushing work through the sweep runner's pool: submit a
+    // batch of trivial tasks and drain. Dominated by queue mutex
+    // traffic, so it bounds how fine-grained sweep cells can usefully
+    // be.
+    const unsigned threads =
+        static_cast<unsigned>(state.range(0));
+    constexpr int batch = 256;
+    ThreadPool pool(threads);
+    for (auto _ : state) {
+        std::atomic<int> done{0};
+        for (int i = 0; i < batch; ++i)
+            pool.submit([&done] {
+                done.fetch_add(1, std::memory_order_relaxed);
+            });
+        pool.drain();
+        if (done.load() != batch)
+            state.SkipWithError("lost tasks");
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(2)->Arg(4);
 
 } // namespace
 

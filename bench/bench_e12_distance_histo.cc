@@ -8,11 +8,52 @@
  * are guards known" reduces to this histogram.
  */
 
+#include <memory>
+
 #include "common.hh"
 #include "util/stats.hh"
 
 using namespace pabp;
 using namespace pabp::bench;
+
+namespace {
+
+/** Per-workload accumulator, owned by exactly one Observe cell. */
+struct DistanceAccum
+{
+    std::vector<std::uint64_t> lastWrite =
+        std::vector<std::uint64_t>(numPredRegs, 0);
+    Histogram histo{16, 4}; // 16 buckets of width 4 + overflow
+    std::uint64_t inBucket[6] = {};
+    std::uint64_t total = 0;
+
+    void
+    observe(const DynInst &dyn)
+    {
+        const Inst &inst = *dyn.inst;
+        if (inst.op == Opcode::Br && inst.qp != 0) {
+            std::uint64_t distance = dyn.seq - lastWrite[inst.qp];
+            histo.sample(distance);
+            ++total;
+            if (distance < 4)
+                ++inBucket[0];
+            else if (distance < 8)
+                ++inBucket[1];
+            else if (distance < 16)
+                ++inBucket[2];
+            else if (distance < 32)
+                ++inBucket[3];
+            else if (distance < 64)
+                ++inBucket[4];
+            else
+                ++inBucket[5];
+        }
+        for (unsigned w = 0; w < dyn.numPredWrites; ++w)
+            lastWrite[dyn.predWrites[w].reg] = dyn.seq;
+    }
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -27,61 +68,49 @@ main(int argc, char **argv)
     std::cout << "E12: dynamic define-to-branch distance of branch "
                  "guards\n\n";
 
+    // One Observe cell per workload; each cell's accumulator is
+    // touched only by the worker running that cell.
+    std::vector<std::unique_ptr<DistanceAccum>> accums;
+    std::vector<RunSpec> specs;
+    for (const std::string &name : workloadNames()) {
+        accums.push_back(std::make_unique<DistanceAccum>());
+        DistanceAccum *accum = accums.back().get();
+
+        RunSpec spec;
+        spec.workload = name;
+        spec.mode = RunMode::Observe;
+        spec.observe = [accum](const DynInst &dyn) {
+            accum->observe(dyn);
+        };
+        spec.maxInsts = steps;
+        spec.seed = seed;
+        specs.push_back(spec);
+    }
+
+    SweepRunner runner(sweepConfigFromOptions(opts));
+    std::vector<RunResult> results = runner.run(specs);
+
     Table table({"workload", "mean", "<4", "4-7", "8-15", "16-31",
                  "32-63", ">=64"});
 
+    std::size_t idx = 0;
     for (const std::string &name : workloadNames()) {
-        Workload wl = makeWorkload(name, seed);
-        CompileOptions copts;
-        CompiledProgram cp = compileWorkload(wl, copts);
-        Emulator emu(cp.prog);
-        if (wl.init)
-            wl.init(emu.state());
-
-        // Track the last writer of each predicate register.
-        std::vector<std::uint64_t> last_write(numPredRegs, 0);
-        Histogram histo(16, 4); // 16 buckets of width 4 + overflow
-        std::uint64_t in_bucket[6] = {};
-        std::uint64_t total = 0;
-
-        DynInst dyn;
-        for (std::uint64_t i = 0; i < steps && emu.step(dyn); ++i) {
-            const Inst &inst = *dyn.inst;
-            if (inst.op == Opcode::Br && inst.qp != 0) {
-                std::uint64_t distance = dyn.seq - last_write[inst.qp];
-                histo.sample(distance);
-                ++total;
-                if (distance < 4)
-                    ++in_bucket[0];
-                else if (distance < 8)
-                    ++in_bucket[1];
-                else if (distance < 16)
-                    ++in_bucket[2];
-                else if (distance < 32)
-                    ++in_bucket[3];
-                else if (distance < 64)
-                    ++in_bucket[4];
-                else
-                    ++in_bucket[5];
-            }
-            for (unsigned w = 0; w < dyn.numPredWrites; ++w)
-                last_write[dyn.predWrites[w].reg] = dyn.seq;
-        }
-
+        const DistanceAccum &accum = *accums[idx++];
         table.startRow();
         table.cell(name);
-        table.cell(histo.mean(), 1);
+        table.cell(accum.histo.mean(), 1);
         for (int bucket = 0; bucket < 6; ++bucket)
-            table.percentCell(total ? static_cast<double>(
-                                          in_bucket[bucket]) /
-                                      static_cast<double>(total)
-                                    : 0.0,
-                              1);
+            table.percentCell(
+                accum.total ? static_cast<double>(
+                                  accum.inBucket[bucket]) /
+                        static_cast<double>(accum.total)
+                            : 0.0,
+                1);
     }
 
     emitTable(table, opts);
     std::cout << "guards resolved at least `availDelay` instructions "
                  "before the branch\nare filterable; compare these "
                  "columns against E4's squash rates.\n";
-    return 0;
+    return exitStatus(specs, results);
 }

@@ -19,21 +19,6 @@ namespace {
 
 constexpr std::uint64_t toHaltCap = 30'000'000;
 
-/** Instructions a workload needs to halt in branchy form. */
-std::uint64_t
-branchyInstsToHalt(const std::string &name, std::uint64_t seed)
-{
-    Workload wl = makeWorkload(name, seed);
-    CompileOptions nopts;
-    nopts.ifConvert = false;
-    CompiledProgram normal = compileWorkload(wl, nopts);
-    Emulator emu(normal.prog);
-    if (wl.init)
-        wl.init(emu.state());
-    emu.run(toHaltCap);
-    return emu.instsExecuted();
-}
-
 } // namespace
 
 int
@@ -46,33 +31,70 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(opts.integer("steps"));
     std::uint64_t seed = static_cast<std::uint64_t>(opts.integer("seed"));
 
-    std::cout << "E13a: exit sinking ablation (gshare-4K + SFPF, "
-                 "delay=8)\n\n";
+    const std::vector<unsigned> max_blocks_sweep = {2, 4, 6, 8, 12, 16};
 
-    Table sink_table({"workload", "squash%(sunk)", "squash%(in-place)",
-                      "mispred(sunk)", "mispred(in-place)"});
+    // Grid layout: [sink ablation pairs][branchy to-halt
+    // baselines][maxBlocks x workloads to-halt runs].
+    std::vector<RunSpec> specs;
     for (const std::string &name : workloadNames()) {
-        EngineStats results[2];
         for (int mode = 0; mode < 2; ++mode) {
             RunSpec spec;
+            spec.workload = name;
             spec.engine.useSfpf = true;
             spec.compile.lowering.sinkExits = mode == 0;
             spec.maxInsts = steps;
             spec.seed = seed;
             applyCheckpointOptions(spec, opts);
-            results[mode] = runTraceSpec(makeWorkload(name, seed), spec);
+            specs.push_back(spec);
         }
+    }
+    const std::size_t branchy_offset = specs.size();
+    for (const std::string &name : workloadNames()) {
+        RunSpec branchy;
+        branchy.workload = name;
+        branchy.ifConvert = false;
+        branchy.maxInsts = toHaltCap;
+        branchy.seed = seed;
+        specs.push_back(branchy);
+    }
+    const std::size_t size_offset = specs.size();
+    for (unsigned max_blocks : max_blocks_sweep) {
+        for (const std::string &name : workloadNames()) {
+            RunSpec spec;
+            spec.workload = name;
+            spec.engine.useSfpf = true;
+            spec.engine.usePgu = true;
+            spec.compile.heuristics.maxBlocks = max_blocks;
+            spec.maxInsts = toHaltCap;
+            spec.seed = seed;
+            specs.push_back(spec);
+        }
+    }
+
+    SweepRunner runner(sweepConfigFromOptions(opts));
+    std::vector<RunResult> results = runner.run(specs);
+
+    std::cout << "E13a: exit sinking ablation (gshare-4K + SFPF, "
+                 "delay=8)\n\n";
+
+    Table sink_table({"workload", "squash%(sunk)", "squash%(in-place)",
+                      "mispred(sunk)", "mispred(in-place)"});
+    std::size_t idx = 0;
+    for (const std::string &name : workloadNames()) {
+        const EngineStats *modes[2] = {&results[idx].engine,
+                                       &results[idx + 1].engine};
+        idx += 2;
         sink_table.startRow();
         sink_table.cell(name);
         for (int mode = 0; mode < 2; ++mode) {
             sink_table.percentCell(
-                results[mode].all.branches
-                    ? static_cast<double>(results[mode].all.squashed) /
-                        static_cast<double>(results[mode].all.branches)
+                modes[mode]->all.branches
+                    ? static_cast<double>(modes[mode]->all.squashed) /
+                        static_cast<double>(modes[mode]->all.branches)
                     : 0.0);
         }
         for (int mode = 0; mode < 2; ++mode)
-            sink_table.percentCell(results[mode].all.mispredictRate());
+            sink_table.percentCell(modes[mode]->all.mispredictRate());
     }
     emitTable(sink_table, opts);
 
@@ -80,33 +102,21 @@ main(int argc, char **argv)
                  "gshare-4K + both techniques, runs to halt)\n\n";
 
     std::vector<std::uint64_t> branchy_insts;
-    for (const std::string &name : workloadNames())
-        branchy_insts.push_back(branchyInstsToHalt(name, seed));
+    for (std::size_t w = 0; w < workloadNames().size(); ++w)
+        branchy_insts.push_back(
+            results[branchy_offset + w].engine.insts);
 
     Table size_table({"maxBlocks", "static-regions", "region-br%",
                       "mispredict", "squash%", "inst-overhead"});
-    for (unsigned max_blocks : {2u, 4u, 6u, 8u, 12u, 16u}) {
+    idx = size_offset;
+    for (unsigned max_blocks : max_blocks_sweep) {
         double sum_rate = 0.0, sum_share = 0.0, sum_squash = 0.0;
         double sum_overhead = 0.0;
         std::uint64_t regions = 0;
-        std::size_t idx = 0;
-        for (const std::string &name : workloadNames()) {
-            Workload wl = makeWorkload(name, seed);
-            CompileOptions copts;
-            copts.heuristics.maxBlocks = max_blocks;
-            CompiledProgram cp = compileWorkload(wl, copts);
-            regions += cp.info.numRegions;
-
-            PredictorPtr pred = makePredictor("gshare", 12);
-            EngineConfig ecfg;
-            ecfg.useSfpf = true;
-            ecfg.usePgu = true;
-            PredictionEngine engine(*pred, ecfg);
-            Emulator emu(cp.prog);
-            if (wl.init)
-                wl.init(emu.state());
-            runTrace(emu, engine, toHaltCap);
-            const EngineStats &stats = engine.stats();
+        for (std::size_t w = 0; w < workloadNames().size(); ++w) {
+            const RunResult &result = results[idx++];
+            const EngineStats &stats = result.engine;
+            regions += result.numRegions;
 
             sum_rate += stats.all.mispredictRate();
             double branches = static_cast<double>(stats.all.branches);
@@ -117,8 +127,7 @@ main(int argc, char **argv)
                 ? static_cast<double>(stats.all.squashed) / branches
                 : 0.0;
             sum_overhead += static_cast<double>(stats.insts) /
-                static_cast<double>(branchy_insts[idx]);
-            ++idx;
+                static_cast<double>(branchy_insts[w]);
         }
         double n = static_cast<double>(workloadNames().size());
         size_table.startRow();
@@ -132,5 +141,5 @@ main(int argc, char **argv)
     emitTable(size_table, opts);
     std::cout << "inst-overhead = predicated instructions to complete "
                  "the same work,\nrelative to the branchy binary.\n";
-    return 0;
+    return exitStatus(specs, results);
 }

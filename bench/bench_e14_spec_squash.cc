@@ -24,34 +24,50 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(opts.integer("steps"));
     std::uint64_t seed = static_cast<std::uint64_t>(opts.integer("seed"));
 
+    const std::vector<unsigned> delays = {4, 8, 16, 32, 64};
+
     std::cout << "E14: speculative squash extension (gshare-4K, suite "
                  "means)\n\n";
 
-    Table table({"delay", "squash%(filter)", "spec-squash%",
-                 "spec-wrong%", "mispred(filter)", "mispred(+spec)",
-                 "mispred(+spec,JRS)"});
-
-    for (unsigned delay : {4u, 8u, 16u, 32u, 64u}) {
-        double sum_sq = 0.0, sum_spec = 0.0, sum_wrong = 0.0;
-        double sum_rate_base = 0.0, sum_rate_spec = 0.0;
-        double sum_rate_jrs = 0.0;
+    // delays x workloads x {filter only, +spec, +spec JRS-gated}.
+    std::vector<RunSpec> specs;
+    for (unsigned delay : delays) {
         for (const std::string &name : workloadNames()) {
             RunSpec base;
+            base.workload = name;
             base.engine.useSfpf = true;
             base.engine.availDelay = delay;
             base.maxInsts = steps;
             base.seed = seed;
             applyCheckpointOptions(base, opts);
-            EngineStats b = runTraceSpec(makeWorkload(name, seed), base);
+            specs.push_back(base);
 
             RunSpec spec = base;
             spec.engine.useSpeculativeSquash = true;
-            EngineStats s = runTraceSpec(makeWorkload(name, seed), spec);
+            specs.push_back(spec);
 
             RunSpec jrs_spec = spec;
             jrs_spec.engine.specGate = EngineConfig::SpecGate::Jrs;
-            EngineStats j =
-                runTraceSpec(makeWorkload(name, seed), jrs_spec);
+            specs.push_back(jrs_spec);
+        }
+    }
+
+    SweepRunner runner(sweepConfigFromOptions(opts));
+    std::vector<RunResult> results = runner.run(specs);
+
+    Table table({"delay", "squash%(filter)", "spec-squash%",
+                 "spec-wrong%", "mispred(filter)", "mispred(+spec)",
+                 "mispred(+spec,JRS)"});
+
+    std::size_t idx = 0;
+    for (unsigned delay : delays) {
+        double sum_sq = 0.0, sum_spec = 0.0, sum_wrong = 0.0;
+        double sum_rate_base = 0.0, sum_rate_spec = 0.0;
+        double sum_rate_jrs = 0.0;
+        for (std::size_t w = 0; w < workloadNames().size(); ++w) {
+            const EngineStats &b = results[idx++].engine;
+            const EngineStats &s = results[idx++].engine;
+            const EngineStats &j = results[idx++].engine;
             sum_rate_jrs += j.all.mispredictRate();
 
             double branches = static_cast<double>(b.all.branches);
@@ -84,5 +100,5 @@ main(int argc, char **argv)
     std::cout << "spec-wrong% = wrongly squashed (taken) share of "
                  "speculative squashes;\nthese become branch "
                  "mispredicts, unlike the filter's certain ones.\n";
-    return 0;
+    return exitStatus(specs, results);
 }

@@ -9,10 +9,26 @@
  * keep the biased ones.
  */
 
+#include <cstdio>
+
 #include "common.hh"
 
 using namespace pabp;
 using namespace pabp::bench;
+
+namespace {
+
+/** Unique cache id per bias point ("bias-0.70"), since the generator
+ * names every variant just "bias". */
+std::string
+biasId(double bias)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "bias-%.2f", bias);
+    return buf;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -24,31 +40,47 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(opts.integer("steps"));
     std::uint64_t seed = static_cast<std::uint64_t>(opts.integer("seed"));
 
+    const std::vector<double> biases = {0.50, 0.60, 0.70, 0.80,
+                                        0.90, 0.95, 0.99};
+
     std::cout << "E15: branch bias sweep on the diamond kernel "
                  "(gshare-4K, width 6, penalty 8)\n\n";
 
-    Table table({"taken-prob", "mispredict(branchy)", "IPC(branchy)",
-                 "IPC(pred)", "IPC(pred+both)", "pred wins"});
-
-    PipelineConfig pcfg;
-    for (double bias : {0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99}) {
+    // biases x {branchy, pred, pred+both}, all timed runs.
+    std::vector<RunSpec> specs;
+    for (double bias : biases) {
         RunSpec branchy;
+        branchy.workload = biasId(bias);
+        branchy.factory = [bias](std::uint64_t s) {
+            return makeBiasWorkload(bias, s);
+        };
+        branchy.mode = RunMode::Timed;
         branchy.ifConvert = false;
         branchy.maxInsts = steps;
         branchy.seed = seed;
-        TimedResult b =
-            runTimedSpec(makeBiasWorkload(bias, seed), branchy, pcfg);
+        specs.push_back(branchy);
 
         RunSpec pred = branchy;
         pred.ifConvert = true;
-        TimedResult p =
-            runTimedSpec(makeBiasWorkload(bias, seed), pred, pcfg);
+        specs.push_back(pred);
 
         RunSpec both = pred;
         both.engine.useSfpf = true;
         both.engine.usePgu = true;
-        TimedResult pb =
-            runTimedSpec(makeBiasWorkload(bias, seed), both, pcfg);
+        specs.push_back(both);
+    }
+
+    SweepRunner runner(sweepConfigFromOptions(opts));
+    std::vector<RunResult> results = runner.run(specs);
+
+    Table table({"taken-prob", "mispredict(branchy)", "IPC(branchy)",
+                 "IPC(pred)", "IPC(pred+both)", "pred wins"});
+
+    std::size_t idx = 0;
+    for (double bias : biases) {
+        const RunResult &b = results[idx++];
+        const RunResult &p = results[idx++];
+        const RunResult &pb = results[idx++];
 
         table.startRow();
         table.cell(bias, 2);
@@ -68,5 +100,5 @@ main(int argc, char **argv)
                  "bubbles, so the\nmargin stays positive even for "
                  "biased branches - fatter arms or a\nnarrower "
                  "machine move the crossover into view.\n";
-    return 0;
+    return exitStatus(specs, results);
 }

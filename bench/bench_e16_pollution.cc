@@ -11,47 +11,10 @@
  * effect from the "free not-taken predictions" effect.
  */
 
-#include "bpred/gshare.hh"
 #include "common.hh"
 
 using namespace pabp;
 using namespace pabp::bench;
-
-namespace {
-
-struct PollutionResult
-{
-    std::uint64_t lookups;
-    std::uint64_t conflicts;
-    std::uint64_t mispredicts;
-};
-
-PollutionResult
-measure(const std::string &name, std::uint64_t seed, bool sfpf,
-        std::uint64_t steps)
-{
-    Workload wl = makeWorkload(name, seed);
-    CompileOptions copts;
-    CompiledProgram cp = compileWorkload(wl, copts);
-
-    GSharePredictor gshare(12);
-    gshare.enableConflictProfiling();
-    EngineConfig ecfg;
-    ecfg.useSfpf = sfpf;
-    PredictionEngine engine(gshare, ecfg);
-    Emulator emu(cp.prog);
-    if (wl.init)
-        wl.init(emu.state());
-    runTrace(emu, engine, steps);
-
-    PollutionResult result;
-    result.lookups = gshare.lookupCount();
-    result.conflicts = gshare.conflictCount();
-    result.mispredicts = engine.stats().all.mispredicts;
-    return result;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -66,27 +29,46 @@ main(int argc, char **argv)
     std::cout << "E16: gshare table pollution with/without the filter "
                  "(4K entries)\n\n";
 
+    // workloads x {base, +SFPF}, both with conflict profiling on.
+    std::vector<RunSpec> specs;
+    for (const std::string &name : workloadNames()) {
+        RunSpec base;
+        base.workload = name;
+        base.profileConflicts = true;
+        base.maxInsts = steps;
+        base.seed = seed;
+        specs.push_back(base);
+
+        RunSpec with = base;
+        with.engine.useSfpf = true;
+        specs.push_back(with);
+    }
+
+    SweepRunner runner(sweepConfigFromOptions(opts));
+    std::vector<RunResult> results = runner.run(specs);
+
     Table table({"workload", "lookups(base)", "lookups(+SFPF)",
                  "conflicts(base)", "conflicts(+SFPF)",
                  "mispred(base)", "mispred(+SFPF)"});
     std::uint64_t totals[6] = {};
+    std::size_t idx = 0;
     for (const std::string &name : workloadNames()) {
-        PollutionResult base = measure(name, seed, false, steps);
-        PollutionResult with = measure(name, seed, true, steps);
+        const RunResult &base = results[idx++];
+        const RunResult &with = results[idx++];
         table.startRow();
         table.cell(name);
         table.cell(base.lookups);
         table.cell(with.lookups);
         table.cell(base.conflicts);
         table.cell(with.conflicts);
-        table.cell(base.mispredicts);
-        table.cell(with.mispredicts);
+        table.cell(base.engine.all.mispredicts);
+        table.cell(with.engine.all.mispredicts);
         totals[0] += base.lookups;
         totals[1] += with.lookups;
         totals[2] += base.conflicts;
         totals[3] += with.conflicts;
-        totals[4] += base.mispredicts;
-        totals[5] += with.mispredicts;
+        totals[4] += base.engine.all.mispredicts;
+        totals[5] += with.engine.all.mispredicts;
     }
     table.startRow();
     table.cell(std::string("TOTAL"));
@@ -102,5 +84,5 @@ main(int argc, char **argv)
                  "conflict counts can move either\nway because "
                  "squashing also changes the global history and thus "
                  "the\nindex stream.)\n";
-    return 0;
+    return exitStatus(specs, results);
 }

@@ -19,50 +19,11 @@ constexpr std::uint64_t toHaltCap = 30'000'000;
 
 struct Point
 {
-    double mispredict;
-    double ipc;
-    double overhead;
-    std::uint64_t regions;
+    double mispredict = 0.0;
+    double ipc = 0.0;
+    double overhead = 0.0;
+    std::uint64_t regions = 0;
 };
-
-Point
-measure(double theta, bool if_convert, std::uint64_t seed,
-        const std::vector<std::uint64_t> &branchy_insts)
-{
-    PipelineConfig pcfg;
-    Point point{0.0, 0.0, 0.0, 0};
-    std::size_t idx = 0;
-    for (const std::string &name : workloadNames()) {
-        Workload wl = makeWorkload(name, seed);
-        CompileOptions copts;
-        copts.ifConvert = if_convert;
-        copts.heuristics.minSeedMispredictRatio = theta;
-        CompiledProgram cp = compileWorkload(wl, copts);
-        point.regions += cp.info.numRegions;
-
-        PredictorPtr pred = makePredictor("gshare", 12);
-        EngineConfig ecfg;
-        ecfg.useSfpf = if_convert;
-        ecfg.usePgu = if_convert;
-        PredictionEngine engine(*pred, ecfg);
-        Pipeline pipe(engine, pcfg);
-        Emulator emu(cp.prog);
-        if (wl.init)
-            wl.init(emu.state());
-        const PipelineStats &stats = pipe.run(emu, toHaltCap);
-
-        point.mispredict += engine.stats().all.mispredictRate();
-        point.ipc += stats.ipc();
-        point.overhead += static_cast<double>(stats.insts) /
-            static_cast<double>(branchy_insts[idx]);
-        ++idx;
-    }
-    double n = static_cast<double>(workloadNames().size());
-    point.mispredict /= n;
-    point.ipc /= n;
-    point.overhead /= n;
-    return point;
-}
 
 } // namespace
 
@@ -74,28 +35,72 @@ main(int argc, char **argv)
         return 0;
     std::uint64_t seed = static_cast<std::uint64_t>(opts.integer("seed"));
 
+    const std::vector<double> thetas = {0.0, 0.005, 0.01, 0.02, 0.05,
+                                        0.10};
+
     std::cout << "E17: selective if-conversion by profiled mispredict "
                  "ratio\n(suite means, runs to halt, gshare-4K + both "
                  "techniques)\n\n";
 
-    // Branchy instruction baselines for the overhead column.
-    std::vector<std::uint64_t> branchy_insts;
+    // Grid layout: [branchy instruction baselines (trace)][branchy
+    // timed point][thetas x workloads timed points].
+    std::vector<RunSpec> specs;
     for (const std::string &name : workloadNames()) {
-        Workload wl = makeWorkload(name, seed);
-        CompileOptions nopts;
-        nopts.ifConvert = false;
-        CompiledProgram normal = compileWorkload(wl, nopts);
-        Emulator emu(normal.prog);
-        if (wl.init)
-            wl.init(emu.state());
-        emu.run(toHaltCap);
-        branchy_insts.push_back(emu.instsExecuted());
+        RunSpec branchy;
+        branchy.workload = name;
+        branchy.ifConvert = false;
+        branchy.maxInsts = toHaltCap;
+        branchy.seed = seed;
+        specs.push_back(branchy);
     }
+    const std::size_t timed_offset = specs.size();
+    auto pointSpecs = [&](double theta, bool if_convert) {
+        for (const std::string &name : workloadNames()) {
+            RunSpec spec;
+            spec.workload = name;
+            spec.mode = RunMode::Timed;
+            spec.ifConvert = if_convert;
+            spec.engine.useSfpf = if_convert;
+            spec.engine.usePgu = if_convert;
+            spec.compile.heuristics.minSeedMispredictRatio = theta;
+            spec.maxInsts = toHaltCap;
+            spec.seed = seed;
+            specs.push_back(spec);
+        }
+    };
+    pointSpecs(0.0, false);
+    for (double theta : thetas)
+        pointSpecs(theta, true);
+
+    SweepRunner runner(sweepConfigFromOptions(opts));
+    std::vector<RunResult> results = runner.run(specs);
+
+    std::vector<std::uint64_t> branchy_insts;
+    for (std::size_t w = 0; w < workloadNames().size(); ++w)
+        branchy_insts.push_back(results[w].engine.insts);
+
+    std::size_t idx = timed_offset;
+    auto takePoint = [&]() {
+        Point point;
+        for (std::size_t w = 0; w < workloadNames().size(); ++w) {
+            const RunResult &result = results[idx++];
+            point.regions += result.numRegions;
+            point.mispredict += result.engine.all.mispredictRate();
+            point.ipc += result.pipe.ipc();
+            point.overhead += static_cast<double>(result.pipe.insts) /
+                static_cast<double>(branchy_insts[w]);
+        }
+        double n = static_cast<double>(workloadNames().size());
+        point.mispredict /= n;
+        point.ipc /= n;
+        point.overhead /= n;
+        return point;
+    };
 
     Table table({"theta", "static-regions", "mispredict", "IPC",
                  "inst-overhead"});
 
-    Point branchy = measure(0.0, false, seed, branchy_insts);
+    Point branchy = takePoint();
     table.startRow();
     table.cell(std::string("branchy"));
     table.cell(std::uint64_t{0});
@@ -103,8 +108,8 @@ main(int argc, char **argv)
     table.cell(branchy.ipc, 3);
     table.cell(branchy.overhead, 2);
 
-    for (double theta : {0.0, 0.005, 0.01, 0.02, 0.05, 0.10}) {
-        Point point = measure(theta, true, seed, branchy_insts);
+    for (double theta : thetas) {
+        Point point = takePoint();
         table.startRow();
         table.cell(theta, 3);
         table.cell(point.regions);
@@ -119,5 +124,5 @@ main(int argc, char **argv)
                  "Raising theta trims regions and the\ninstruction "
                  "tax while keeping most of the IPC win - until it "
                  "starts\nskipping genuinely hard branches.\n";
-    return 0;
+    return exitStatus(specs, results);
 }

@@ -14,34 +14,6 @@
 using namespace pabp;
 using namespace pabp::bench;
 
-namespace {
-
-EngineStats
-runCrossInput(const std::string &name, std::uint64_t train_seed,
-              std::uint64_t ref_seed, bool sfpf, bool pgu,
-              std::uint64_t steps)
-{
-    // Compile (profile) with the train input...
-    Workload train = makeWorkload(name, train_seed);
-    CompileOptions copts;
-    CompiledProgram cp = compileWorkload(train, copts);
-
-    // ...measure with the ref input's memory image.
-    Workload ref = makeWorkload(name, ref_seed);
-    PredictorPtr pred = makePredictor("gshare", 12);
-    EngineConfig ecfg;
-    ecfg.useSfpf = sfpf;
-    ecfg.usePgu = pgu;
-    PredictionEngine engine(*pred, ecfg);
-    Emulator emu(cp.prog);
-    if (ref.init)
-        ref.init(emu.state());
-    runTrace(emu, engine, steps);
-    return engine.stats();
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
@@ -60,16 +32,39 @@ main(int argc, char **argv)
     std::cout << "E18: profile on train input (" << train
               << "), measure on ref input (" << ref << ")\n\n";
 
+    // Per workload: base(ref), +both(ref) - compiled from the train
+    // profile but run on the ref memory image (compileSeed != seed) -
+    // then +both(same-input) compiled and run on ref.
+    std::vector<RunSpec> specs;
+    for (const std::string &name : workloadNames()) {
+        RunSpec base;
+        base.workload = name;
+        base.compileSeed = train;
+        base.seed = ref;
+        base.maxInsts = steps;
+        specs.push_back(base);
+
+        RunSpec both = base;
+        both.engine.useSfpf = true;
+        both.engine.usePgu = true;
+        specs.push_back(both);
+
+        RunSpec same = both;
+        same.compileSeed = ref;
+        specs.push_back(same);
+    }
+
+    SweepRunner runner(sweepConfigFromOptions(opts));
+    std::vector<RunResult> results = runner.run(specs);
+
     Table table({"workload", "base(ref)", "+both(ref)", "reduction",
                  "+both(same-input)"});
     double sum_base = 0.0, sum_both = 0.0, sum_same = 0.0;
+    std::size_t idx = 0;
     for (const std::string &name : workloadNames()) {
-        EngineStats base =
-            runCrossInput(name, train, ref, false, false, steps);
-        EngineStats both =
-            runCrossInput(name, train, ref, true, true, steps);
-        EngineStats same =
-            runCrossInput(name, ref, ref, true, true, steps);
+        const EngineStats &base = results[idx++].engine;
+        const EngineStats &both = results[idx++].engine;
+        const EngineStats &same = results[idx++].engine;
 
         table.startRow();
         table.cell(name);
@@ -98,5 +93,5 @@ main(int argc, char **argv)
                  "same-input column closely -\nregion formation "
                  "consumes only coarse block weights, so it does not "
                  "overfit\nthe training input.\n";
-    return 0;
+    return exitStatus(specs, results);
 }

@@ -31,23 +31,35 @@ main(int argc, char **argv)
     std::cout << "E19: SFPF+PGU across base predictors (suite means, "
                  "2^12 budget class)\n\n";
 
-    Table table({"base predictor", "alone", "+SFPF+PGU", "reduction"});
+    // kinds x workloads x {alone, +both}.
+    std::vector<RunSpec> specs;
     for (const std::string &kind : kinds) {
-        double sum_alone = 0.0, sum_both = 0.0;
         for (const std::string &name : workloadNames()) {
             RunSpec alone;
+            alone.workload = name;
             alone.predictor = kind;
             alone.maxInsts = steps;
             alone.seed = seed;
             applyCheckpointOptions(alone, opts);
-            sum_alone += runTraceSpec(makeWorkload(name, seed), alone)
-                             .all.mispredictRate();
+            specs.push_back(alone);
 
             RunSpec both = alone;
             both.engine.useSfpf = true;
             both.engine.usePgu = true;
-            sum_both += runTraceSpec(makeWorkload(name, seed), both)
-                            .all.mispredictRate();
+            specs.push_back(both);
+        }
+    }
+
+    SweepRunner runner(sweepConfigFromOptions(opts));
+    std::vector<RunResult> results = runner.run(specs);
+
+    Table table({"base predictor", "alone", "+SFPF+PGU", "reduction"});
+    std::size_t idx = 0;
+    for (const std::string &kind : kinds) {
+        double sum_alone = 0.0, sum_both = 0.0;
+        for (std::size_t w = 0; w < workloadNames().size(); ++w) {
+            sum_alone += results[idx++].engine.all.mispredictRate();
+            sum_both += results[idx++].engine.all.mispredictRate();
         }
         double n = static_cast<double>(workloadNames().size());
         table.startRow();
@@ -65,5 +77,5 @@ main(int argc, char **argv)
                  "improves; the margin is\nsmallest where the baseline "
                  "already reaches the correlated bits\n(perceptron's "
                  "long history).\n";
-    return 0;
+    return exitStatus(specs, results);
 }

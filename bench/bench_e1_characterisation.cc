@@ -28,31 +28,39 @@ main(int argc, char **argv)
     std::cout << "E1: workload characterisation (to halt, seed=" << seed
               << ")\n\n";
 
+    // Two cells per workload: the branchy binary run to halt (for
+    // the instruction-count baseline) and the predicated run whose
+    // engine stats fill the rest of the row.
+    std::vector<RunSpec> specs;
+    for (const std::string &name : workloadNames()) {
+        RunSpec branchy;
+        branchy.workload = name;
+        branchy.ifConvert = false;
+        branchy.maxInsts = steps;
+        branchy.seed = seed;
+        specs.push_back(branchy);
+
+        RunSpec pred;
+        pred.workload = name;
+        pred.maxInsts = steps;
+        pred.seed = seed;
+        applyCheckpointOptions(pred, opts);
+        specs.push_back(pred);
+    }
+
+    SweepRunner runner(sweepConfigFromOptions(opts));
+    std::vector<RunResult> results = runner.run(specs);
+
     Table table({"workload", "insts(branchy)", "insts(pred)",
                  "overhead", "cond-br(pred)", "region-br%",
                  "false-guard%", "pdefines/kinst", "static-regions"});
 
+    std::size_t idx = 0;
     for (const std::string &name : workloadNames()) {
-        // Branchy instruction count.
-        Workload wl_normal = makeWorkload(name, seed);
-        CompileOptions nopts;
-        nopts.ifConvert = false;
-        CompiledProgram normal = compileWorkload(wl_normal, nopts);
-        Emulator emu_n(normal.prog);
-        if (wl_normal.init)
-            wl_normal.init(emu_n.state());
-        emu_n.run(steps);
-        std::uint64_t branchy_insts = emu_n.instsExecuted();
-
-        // Predicated run through the engine for classified counts.
-        Workload wl = makeWorkload(name, seed);
-        RunSpec spec;
-        spec.maxInsts = steps;
-        spec.seed = seed;
-        applyCheckpointOptions(spec, opts);
-        CompileOptions copts;
-        CompiledProgram conv = compileWorkload(wl, copts);
-        EngineStats stats = runTraceSpec(makeWorkload(name, seed), spec);
+        std::uint64_t branchy_insts = results[idx].engine.insts;
+        const RunResult &pred = results[idx + 1];
+        const EngineStats &stats = pred.engine;
+        idx += 2;
 
         table.startRow();
         table.cell(name);
@@ -77,12 +85,12 @@ main(int argc, char **argv)
                        static_cast<double>(stats.predicateDefines) /
                        static_cast<double>(stats.insts),
                    1);
-        table.cell(static_cast<std::uint64_t>(conv.info.numRegions));
+        table.cell(pred.numRegions);
     }
 
     emitTable(table, opts);
     std::cout << "region-br% = share of dynamic conditional branches "
                  "that are region-based\nfalse-guard% = share executed "
                  "with a false qualifying predicate (filter ceiling)\n";
-    return 0;
+    return exitStatus(specs, results);
 }

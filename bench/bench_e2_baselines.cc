@@ -32,24 +32,36 @@ main(int argc, char **argv)
     std::cout << "E2: baseline mispredict rates on predicated code "
               << "(2^" << size_log2 << " entries)\n\n";
 
+    // workloads x kinds, row-major in table order. Each workload
+    // compiles once; the cache shares the program across all kinds.
+    std::vector<RunSpec> specs;
+    for (const std::string &name : workloadNames()) {
+        for (const std::string &kind : kinds) {
+            RunSpec spec;
+            spec.workload = name;
+            spec.predictor = kind;
+            spec.sizeLog2 = size_log2;
+            spec.maxInsts = steps;
+            spec.seed = seed;
+            applyCheckpointOptions(spec, opts);
+            specs.push_back(spec);
+        }
+    }
+
+    SweepRunner runner(sweepConfigFromOptions(opts));
+    std::vector<RunResult> results = runner.run(specs);
+
     std::vector<std::string> header = {"workload"};
     header.insert(header.end(), kinds.begin(), kinds.end());
     Table table(header);
 
     std::vector<double> sums(kinds.size(), 0.0);
+    std::size_t idx = 0;
     for (const std::string &name : workloadNames()) {
         table.startRow();
         table.cell(name);
         for (std::size_t k = 0; k < kinds.size(); ++k) {
-            RunSpec spec;
-            spec.predictor = kinds[k];
-            spec.sizeLog2 = size_log2;
-            spec.maxInsts = steps;
-            spec.seed = seed;
-            applyCheckpointOptions(spec, opts);
-            EngineStats stats =
-                runTraceSpec(makeWorkload(name, seed), spec);
-            double rate = stats.all.mispredictRate();
+            double rate = results[idx++].engine.all.mispredictRate();
             sums[k] += rate;
             table.percentCell(rate);
         }
@@ -60,5 +72,5 @@ main(int argc, char **argv)
         table.percentCell(s / static_cast<double>(workloadNames().size()));
 
     emitTable(table, opts);
-    return 0;
+    return exitStatus(specs, results);
 }

@@ -29,23 +29,51 @@ main(int argc, char **argv)
 
     const std::vector<unsigned> sizes = {8, 10, 12, 14, 16};
 
-    Table sweep({"entries", "gshare", "gshare+SFPF", "reduction"});
+    // One grid for the whole binary: sizes x workloads x {base,
+    // SFPF}, then the 4K per-workload detail pairs. Every workload
+    // compiles exactly once - the cells differ only predictor-side.
+    std::vector<RunSpec> specs;
     for (unsigned size_log2 : sizes) {
-        double sum_base = 0.0, sum_sfpf = 0.0;
         for (const std::string &name : workloadNames()) {
             RunSpec base;
+            base.workload = name;
             base.sizeLog2 = size_log2;
             base.maxInsts = steps;
             base.seed = seed;
             applyCheckpointOptions(base, opts);
-            sum_base += runTraceSpec(makeWorkload(name, seed), base)
-                            .all.mispredictRate();
+            specs.push_back(base);
 
             RunSpec sfpf = base;
             sfpf.engine.useSfpf = true;
             sfpf.engine.availDelay = delay;
-            sum_sfpf += runTraceSpec(makeWorkload(name, seed), sfpf)
-                            .all.mispredictRate();
+            specs.push_back(sfpf);
+        }
+    }
+    const std::size_t detail_offset = specs.size();
+    for (const std::string &name : workloadNames()) {
+        RunSpec base;
+        base.workload = name;
+        base.maxInsts = steps;
+        base.seed = seed;
+        applyCheckpointOptions(base, opts);
+        specs.push_back(base);
+
+        RunSpec sfpf = base;
+        sfpf.engine.useSfpf = true;
+        sfpf.engine.availDelay = delay;
+        specs.push_back(sfpf);
+    }
+
+    SweepRunner runner(sweepConfigFromOptions(opts));
+    std::vector<RunResult> results = runner.run(specs);
+
+    Table sweep({"entries", "gshare", "gshare+SFPF", "reduction"});
+    std::size_t idx = 0;
+    for (unsigned size_log2 : sizes) {
+        double sum_base = 0.0, sum_sfpf = 0.0;
+        for (std::size_t w = 0; w < workloadNames().size(); ++w) {
+            sum_base += results[idx++].engine.all.mispredictRate();
+            sum_sfpf += results[idx++].engine.all.mispredictRate();
         }
         double n = static_cast<double>(workloadNames().size());
         sweep.startRow();
@@ -61,17 +89,10 @@ main(int argc, char **argv)
 
     std::cout << "per-workload at 4K entries:\n\n";
     Table detail({"workload", "gshare", "gshare+SFPF", "squashed%"});
+    idx = detail_offset;
     for (const std::string &name : workloadNames()) {
-        RunSpec base;
-        base.maxInsts = steps;
-        base.seed = seed;
-        applyCheckpointOptions(base, opts);
-        EngineStats b = runTraceSpec(makeWorkload(name, seed), base);
-
-        RunSpec sfpf = base;
-        sfpf.engine.useSfpf = true;
-        sfpf.engine.availDelay = delay;
-        EngineStats s = runTraceSpec(makeWorkload(name, seed), sfpf);
+        const EngineStats &b = results[idx++].engine;
+        const EngineStats &s = results[idx++].engine;
 
         detail.startRow();
         detail.cell(name);
@@ -84,5 +105,5 @@ main(int argc, char **argv)
                 : 0.0);
     }
     emitTable(detail, opts);
-    return 0;
+    return exitStatus(specs, results);
 }

@@ -25,32 +25,42 @@ main(int argc, char **argv)
 
     std::cout << "E4: squash coverage by availability delay\n\n";
 
-    Table table({"workload", "false-guard%", "squash%(d=0)",
-                 "squash%(d=8)", "squash%(d=16)", "squash%(d=32)",
-                 "accuracy"});
-
     const std::vector<unsigned> delays = {0, 8, 16, 32};
-    for (const std::string &name : workloadNames()) {
-        table.startRow();
-        table.cell(name);
 
-        double ceiling = 0.0;
-        bool first = true;
+    std::vector<RunSpec> specs;
+    for (const std::string &name : workloadNames()) {
         for (unsigned delay : delays) {
             RunSpec spec;
+            spec.workload = name;
             spec.engine.useSfpf = true;
             spec.engine.availDelay = delay;
             spec.maxInsts = steps;
             spec.seed = seed;
             applyCheckpointOptions(spec, opts);
-            EngineStats stats =
-                runTraceSpec(makeWorkload(name, seed), spec);
+            specs.push_back(spec);
+        }
+    }
+
+    SweepRunner runner(sweepConfigFromOptions(opts));
+    std::vector<RunResult> results = runner.run(specs);
+
+    Table table({"workload", "false-guard%", "squash%(d=0)",
+                 "squash%(d=8)", "squash%(d=16)", "squash%(d=32)",
+                 "accuracy"});
+
+    std::size_t idx = 0;
+    for (const std::string &name : workloadNames()) {
+        table.startRow();
+        table.cell(name);
+
+        bool first = true;
+        for (std::size_t d = 0; d < delays.size(); ++d) {
+            const EngineStats &stats = results[idx++].engine;
             double denom = static_cast<double>(stats.all.branches);
             if (first) {
-                ceiling = denom
+                table.percentCell(denom
                     ? static_cast<double>(stats.all.falseGuard) / denom
-                    : 0.0;
-                table.percentCell(ceiling);
+                    : 0.0);
                 first = false;
             }
             table.percentCell(
@@ -65,5 +75,5 @@ main(int argc, char **argv)
     emitTable(table, opts);
     std::cout << "accuracy is enforced by an execution-time assertion "
                  "on every squash;\nany violation aborts the run.\n";
-    return 0;
+    return exitStatus(specs, results);
 }

@@ -28,23 +28,51 @@ main(int argc, char **argv)
               << delay << ")\n\n";
 
     const std::vector<unsigned> sizes = {8, 10, 12, 14, 16};
-    Table sweep({"entries", "gshare", "PGU-gshare", "reduction"});
+
+    std::vector<RunSpec> specs;
     for (unsigned size_log2 : sizes) {
-        double sum_base = 0.0, sum_pgu = 0.0;
         for (const std::string &name : workloadNames()) {
             RunSpec base;
+            base.workload = name;
             base.sizeLog2 = size_log2;
             base.maxInsts = steps;
             base.seed = seed;
             applyCheckpointOptions(base, opts);
-            sum_base += runTraceSpec(makeWorkload(name, seed), base)
-                            .all.mispredictRate();
+            specs.push_back(base);
 
             RunSpec pgu = base;
             pgu.engine.usePgu = true;
             pgu.engine.pgu.delay = delay;
-            sum_pgu += runTraceSpec(makeWorkload(name, seed), pgu)
-                           .all.mispredictRate();
+            specs.push_back(pgu);
+        }
+    }
+    const std::size_t detail_offset = specs.size();
+    for (const std::string &name : workloadNames()) {
+        RunSpec base;
+        base.workload = name;
+        base.maxInsts = steps;
+        base.seed = seed;
+        applyCheckpointOptions(base, opts);
+        specs.push_back(base);
+
+        // The detail PGU run also reports inserted history bits
+        // (RunResult::pguBits).
+        RunSpec pgu = base;
+        pgu.engine.usePgu = true;
+        pgu.engine.pgu.delay = delay;
+        specs.push_back(pgu);
+    }
+
+    SweepRunner runner(sweepConfigFromOptions(opts));
+    std::vector<RunResult> results = runner.run(specs);
+
+    Table sweep({"entries", "gshare", "PGU-gshare", "reduction"});
+    std::size_t idx = 0;
+    for (unsigned size_log2 : sizes) {
+        double sum_base = 0.0, sum_pgu = 0.0;
+        for (std::size_t w = 0; w < workloadNames().size(); ++w) {
+            sum_base += results[idx++].engine.all.mispredictRate();
+            sum_pgu += results[idx++].engine.all.mispredictRate();
         }
         double n = static_cast<double>(workloadNames().size());
         sweep.startRow();
@@ -60,36 +88,19 @@ main(int argc, char **argv)
 
     std::cout << "per-workload at 4K entries:\n\n";
     Table detail({"workload", "gshare", "PGU-gshare", "pgu-bits/kinst"});
+    idx = detail_offset;
     for (const std::string &name : workloadNames()) {
-        RunSpec base;
-        base.maxInsts = steps;
-        base.seed = seed;
-        applyCheckpointOptions(base, opts);
-        EngineStats b = runTraceSpec(makeWorkload(name, seed), base);
-
-        // PGU run needs direct engine access for the bit count.
-        Workload wl = makeWorkload(name, seed);
-        CompileOptions copts;
-        CompiledProgram cp = compileWorkload(wl, copts);
-        PredictorPtr pred = makePredictor("gshare", 12);
-        EngineConfig ecfg;
-        ecfg.usePgu = true;
-        ecfg.pgu.delay = delay;
-        PredictionEngine engine(*pred, ecfg);
-        Emulator emu(cp.prog);
-        if (wl.init)
-            wl.init(emu.state());
-        runTrace(emu, engine, steps);
+        const RunResult &b = results[idx++];
+        const RunResult &p = results[idx++];
 
         detail.startRow();
         detail.cell(name);
-        detail.percentCell(b.all.mispredictRate());
-        detail.percentCell(engine.stats().all.mispredictRate());
-        detail.cell(1000.0 *
-                        static_cast<double>(engine.pguBitsInserted()) /
-                        static_cast<double>(engine.stats().insts),
+        detail.percentCell(b.engine.all.mispredictRate());
+        detail.percentCell(p.engine.all.mispredictRate());
+        detail.cell(1000.0 * static_cast<double>(p.pguBits) /
+                        static_cast<double>(p.engine.insts),
                     1);
     }
     emitTable(detail, opts);
-    return 0;
+    return exitStatus(specs, results);
 }

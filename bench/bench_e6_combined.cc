@@ -45,24 +45,35 @@ main(int argc, char **argv)
         {"+both", true, true},
     };
 
+    std::vector<RunSpec> specs;
+    for (const std::string &name : workloadNames()) {
+        for (const Config &config : configs) {
+            RunSpec spec;
+            spec.workload = name;
+            spec.predictor = predictor;
+            spec.sizeLog2 = size_log2;
+            spec.engine.useSfpf = config.sfpf;
+            spec.engine.usePgu = config.pgu;
+            spec.maxInsts = steps;
+            spec.seed = seed;
+            applyCheckpointOptions(spec, opts);
+            specs.push_back(spec);
+        }
+    }
+
+    SweepRunner runner(sweepConfigFromOptions(opts));
+    std::vector<RunResult> results = runner.run(specs);
+
     Table table({"workload", "base", "+SFPF", "+PGU", "+both",
                  "best-reduction"});
     double sums[4] = {};
+    std::size_t idx = 0;
     for (const std::string &name : workloadNames()) {
         table.startRow();
         table.cell(name);
         double rates[4];
         for (int c = 0; c < 4; ++c) {
-            RunSpec spec;
-            spec.predictor = predictor;
-            spec.sizeLog2 = size_log2;
-            spec.engine.useSfpf = configs[c].sfpf;
-            spec.engine.usePgu = configs[c].pgu;
-            spec.maxInsts = steps;
-            spec.seed = seed;
-            applyCheckpointOptions(spec, opts);
-            rates[c] = runTraceSpec(makeWorkload(name, seed), spec)
-                           .all.mispredictRate();
+            rates[c] = results[idx++].engine.all.mispredictRate();
             sums[c] += rates[c];
             table.percentCell(rates[c]);
         }
@@ -83,5 +94,5 @@ main(int argc, char **argv)
                       1);
 
     emitTable(table, opts);
-    return 0;
+    return exitStatus(specs, results);
 }

@@ -24,9 +24,6 @@ main(int argc, char **argv)
     std::cout << "E7: region-based branch mispredict rates "
               << "(gshare-4K base)\n\n";
 
-    Table table({"workload", "region-br", "share%", "base", "+SFPF",
-                 "+PGU", "+both"});
-
     struct Config
     {
         bool sfpf;
@@ -35,19 +32,33 @@ main(int argc, char **argv)
     const Config configs[] = {
         {false, false}, {true, false}, {false, true}, {true, true}};
 
+    std::vector<RunSpec> specs;
     for (const std::string &name : workloadNames()) {
-        table.startRow();
-        table.cell(name);
-        bool wrote_counts = false;
         for (const Config &config : configs) {
             RunSpec spec;
+            spec.workload = name;
             spec.engine.useSfpf = config.sfpf;
             spec.engine.usePgu = config.pgu;
             spec.maxInsts = steps;
             spec.seed = seed;
             applyCheckpointOptions(spec, opts);
-            EngineStats stats =
-                runTraceSpec(makeWorkload(name, seed), spec);
+            specs.push_back(spec);
+        }
+    }
+
+    SweepRunner runner(sweepConfigFromOptions(opts));
+    std::vector<RunResult> results = runner.run(specs);
+
+    Table table({"workload", "region-br", "share%", "base", "+SFPF",
+                 "+PGU", "+both"});
+
+    std::size_t idx = 0;
+    for (const std::string &name : workloadNames()) {
+        table.startRow();
+        table.cell(name);
+        bool wrote_counts = false;
+        for (std::size_t c = 0; c < std::size(configs); ++c) {
+            const EngineStats &stats = results[idx++].engine;
             if (!wrote_counts) {
                 table.cell(stats.region.branches);
                 table.percentCell(
@@ -64,5 +75,5 @@ main(int argc, char **argv)
     emitTable(table, opts);
     std::cout << "share% = region-based branches as a fraction of all "
                  "conditional branches\n";
-    return 0;
+    return exitStatus(specs, results);
 }

@@ -45,23 +45,58 @@ main(int argc, char **argv)
     PipelineConfig pcfg;
     pcfg.mispredictPenalty = penalty;
 
+    const std::vector<unsigned> penalties = {4, 8, 12, 16, 24};
+
+    // Main IPC table cells, then the penalty-sweep cells (base and
+    // both-techniques per workload per penalty), all one grid.
+    std::vector<RunSpec> specs;
+    for (const std::string &name : workloadNames()) {
+        for (const Config &config : configs) {
+            RunSpec spec;
+            spec.workload = name;
+            spec.mode = RunMode::Timed;
+            spec.pipeline = pcfg;
+            spec.ifConvert = config.ifConvert;
+            spec.engine.useSfpf = config.sfpf;
+            spec.engine.usePgu = config.pgu;
+            spec.maxInsts = steps;
+            spec.seed = seed;
+            specs.push_back(spec);
+        }
+    }
+    const std::size_t sweep_offset = specs.size();
+    for (unsigned p : penalties) {
+        PipelineConfig cfg;
+        cfg.mispredictPenalty = p;
+        for (const std::string &name : workloadNames()) {
+            RunSpec base;
+            base.workload = name;
+            base.mode = RunMode::Timed;
+            base.pipeline = cfg;
+            base.maxInsts = steps;
+            base.seed = seed;
+            specs.push_back(base);
+
+            RunSpec both = base;
+            both.engine.useSfpf = true;
+            both.engine.usePgu = true;
+            specs.push_back(both);
+        }
+    }
+
+    SweepRunner runner(sweepConfigFromOptions(opts));
+    std::vector<RunResult> results = runner.run(specs);
+
     Table table({"workload", "branchy", "pred", "pred+SFPF", "pred+PGU",
                  "pred+both", "speedup(both/pred)"});
     double ipc_sums[5] = {};
+    std::size_t idx = 0;
     for (const std::string &name : workloadNames()) {
         table.startRow();
         table.cell(name);
         double ipcs[5];
         for (int c = 0; c < 5; ++c) {
-            RunSpec spec;
-            spec.ifConvert = configs[c].ifConvert;
-            spec.engine.useSfpf = configs[c].sfpf;
-            spec.engine.usePgu = configs[c].pgu;
-            spec.maxInsts = steps;
-            spec.seed = seed;
-            TimedResult result =
-                runTimedSpec(makeWorkload(name, seed), spec, pcfg);
-            ipcs[c] = result.pipe.ipc();
+            ipcs[c] = results[idx++].pipe.ipc();
             ipc_sums[c] += ipcs[c];
             table.cell(ipcs[c], 3);
         }
@@ -78,23 +113,12 @@ main(int argc, char **argv)
     std::cout << "suite-mean speedup of pred+both over pred, by "
                  "mispredict penalty:\n\n";
     Table sweep({"penalty", "pred IPC", "pred+both IPC", "speedup"});
-    for (unsigned p : {4u, 8u, 12u, 16u, 24u}) {
-        PipelineConfig cfg;
-        cfg.mispredictPenalty = p;
+    idx = sweep_offset;
+    for (unsigned p : penalties) {
         double sum_base = 0.0, sum_both = 0.0;
-        for (const std::string &name : workloadNames()) {
-            RunSpec base;
-            base.maxInsts = steps;
-            base.seed = seed;
-            sum_base +=
-                runTimedSpec(makeWorkload(name, seed), base, cfg)
-                    .pipe.ipc();
-            RunSpec both = base;
-            both.engine.useSfpf = true;
-            both.engine.usePgu = true;
-            sum_both +=
-                runTimedSpec(makeWorkload(name, seed), both, cfg)
-                    .pipe.ipc();
+        for (std::size_t w = 0; w < workloadNames().size(); ++w) {
+            sum_base += results[idx++].pipe.ipc();
+            sum_both += results[idx++].pipe.ipc();
         }
         sweep.startRow();
         sweep.cell(std::uint64_t{p});
@@ -103,5 +127,5 @@ main(int argc, char **argv)
         sweep.cell(sum_base > 0.0 ? sum_both / sum_base : 0.0, 3);
     }
     emitTable(sweep, opts);
-    return 0;
+    return exitStatus(specs, results);
 }

@@ -28,19 +28,16 @@ main(int argc, char **argv)
 
     std::cout << "E9: squash rate by (define distance, avail delay)\n\n";
 
-    std::vector<std::string> header = {"distance"};
-    for (unsigned d : delays)
-        header.push_back("delay=" + std::to_string(d));
-    Table squash_table(header);
-    Table mispredict_table(header);
-
+    // distances x delays. Each corr-<d> program compiles once and is
+    // shared across all five delay cells.
+    std::vector<RunSpec> specs;
     for (unsigned dist : distances) {
-        squash_table.startRow();
-        mispredict_table.startRow();
-        squash_table.cell(std::uint64_t{dist});
-        mispredict_table.cell(std::uint64_t{dist});
         for (unsigned delay : delays) {
             RunSpec spec;
+            spec.workload = "corr-" + std::to_string(dist);
+            spec.factory = [dist](std::uint64_t s) {
+                return makeCorrWorkload(dist, s);
+            };
             spec.engine.useSfpf = true;
             spec.engine.usePgu = true;
             spec.engine.availDelay = delay;
@@ -49,8 +46,27 @@ main(int argc, char **argv)
             spec.maxInsts = steps;
             spec.seed = seed;
             applyCheckpointOptions(spec, opts);
-            EngineStats stats =
-                runTraceSpec(makeCorrWorkload(dist, seed), spec);
+            specs.push_back(spec);
+        }
+    }
+
+    SweepRunner runner(sweepConfigFromOptions(opts));
+    std::vector<RunResult> results = runner.run(specs);
+
+    std::vector<std::string> header = {"distance"};
+    for (unsigned d : delays)
+        header.push_back("delay=" + std::to_string(d));
+    Table squash_table(header);
+    Table mispredict_table(header);
+
+    std::size_t idx = 0;
+    for (unsigned dist : distances) {
+        squash_table.startRow();
+        mispredict_table.startRow();
+        squash_table.cell(std::uint64_t{dist});
+        mispredict_table.cell(std::uint64_t{dist});
+        for (std::size_t d = 0; d < delays.size(); ++d) {
+            const EngineStats &stats = results[idx++].engine;
             squash_table.percentCell(
                 stats.all.branches
                     ? static_cast<double>(stats.all.squashed) /
@@ -65,5 +81,5 @@ main(int argc, char **argv)
     emitTable(mispredict_table, opts);
     std::cout << "expected shape: both effects switch on once the "
                  "define distance\nexceeds the availability delay.\n";
-    return 0;
+    return exitStatus(specs, results);
 }

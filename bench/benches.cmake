@@ -3,8 +3,18 @@
 # `for b in build/bench/*; do $b; done` is the supported way to
 # regenerate every result.
 
-set(BENCH_LIBS pabp_workloads pabp_pipeline pabp_core pabp_bpred
-    pabp_compiler pabp_sim pabp_isa pabp_mem pabp_util)
+# The sweep runner library: RunSpec grids executed across a worker
+# pool with deterministic, submission-ordered results. Shared by all
+# experiment binaries and by tests/test_sweep.cc.
+add_library(pabp_sweep STATIC ${PROJECT_SOURCE_DIR}/bench/sweep.cc)
+target_include_directories(pabp_sweep PUBLIC
+    ${PROJECT_SOURCE_DIR}/bench)
+target_link_libraries(pabp_sweep PUBLIC pabp_workloads pabp_pipeline
+    pabp_core pabp_bpred pabp_compiler pabp_sim pabp_isa pabp_mem
+    pabp_util)
+
+set(BENCH_LIBS pabp_sweep pabp_workloads pabp_pipeline pabp_core
+    pabp_bpred pabp_compiler pabp_sim pabp_isa pabp_mem pabp_util)
 
 function(pabp_bench name)
     add_executable(${name} ${PROJECT_SOURCE_DIR}/bench/${name}.cc)

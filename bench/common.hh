@@ -1,11 +1,14 @@
 /**
  * @file
- * Shared harness for the experiment binaries (E1-E10): compile a
- * workload in either mode, drive it through a prediction engine (and
- * optionally the pipeline), and collect the stats the tables print.
+ * Shared harness for the experiment binaries (E1-E19). The per-cell
+ * simulation logic lives in bench/sweep.{hh,cc}: every binary builds
+ * a grid of RunSpecs, executes it through SweepRunner (parallel
+ * across --jobs workers, deterministic output), and assembles the
+ * tables from the ordered results.
  *
- * Every binary accepts --steps, --seed and --csv; experiment-specific
- * knobs are declared per binary.
+ * Every binary accepts --steps, --seed, --csv, --jobs and the
+ * checkpoint options; experiment-specific knobs are declared per
+ * binary.
  */
 
 #ifndef PABP_BENCH_COMMON_HH
@@ -17,117 +20,11 @@
 #include <string>
 #include <utility>
 
-#include "bpred/factory.hh"
-#include "core/checkpoint.hh"
-#include "core/engine.hh"
-#include "pipeline/pipeline.hh"
-#include "sim/emulator.hh"
-#include "util/logging.hh"
+#include "sweep.hh"
 #include "util/options.hh"
 #include "util/table.hh"
-#include "workloads/workload.hh"
 
 namespace pabp::bench {
-
-/** One experiment run specification. */
-struct RunSpec
-{
-    std::string predictor = "gshare";
-    unsigned sizeLog2 = 12;
-    bool ifConvert = true;
-    EngineConfig engine;
-    CompileOptions compile;
-    std::uint64_t maxInsts = 1'500'000;
-    std::uint64_t seed = 42;
-
-    /** Checkpoint/resume knobs (see core/checkpoint.hh). A killed
-     *  experiment restarted with resumePath continues from its last
-     *  checkpoint instead of re-simulating from scratch. Resume is
-     *  best-effort per run: a checkpoint whose fingerprint does not
-     *  match this spec (it belongs to another run of the sweep)
-     *  falls back to a fresh run; a damaged checkpoint is fatal. */
-    std::uint64_t checkpointEvery = 0; ///< instructions; 0 = off
-    std::string checkpointPath = "pabp.ckpt";
-    std::string resumePath;
-};
-
-/** Trace-driven run: returns the engine stats. */
-inline EngineStats
-runTraceSpec(Workload wl, const RunSpec &spec)
-{
-    CompileOptions copts = spec.compile;
-    copts.ifConvert = spec.ifConvert;
-    CompiledProgram cp = compileWorkload(wl, copts);
-
-    PredictorPtr pred = makePredictor(spec.predictor, spec.sizeLog2);
-    PredictionEngine engine(*pred, spec.engine);
-    Emulator emu(cp.prog);
-    if (wl.init)
-        wl.init(emu.state());
-
-    std::uint64_t done = 0;
-    if (!spec.resumePath.empty()) {
-        CheckpointRefs refs{&emu, &engine, &done};
-        Status status = loadCheckpoint(spec.resumePath, refs);
-        if (status.code() == StatusCode::InvalidArgument) {
-            // Sweep binaries pass --resume to every run; the
-            // checkpoint fingerprint only matches the run that was
-            // interrupted. Any other run starts fresh (the failed
-            // load may have scribbled on this emulator/engine, so
-            // rebuild from scratch).
-            RunSpec fresh = spec;
-            fresh.resumePath.clear();
-            return runTraceSpec(std::move(wl), fresh);
-        }
-        if (!status.ok())
-            pabp_fatal(status.toString());
-    }
-    if (spec.checkpointEvery == 0) {
-        runTrace(emu, engine,
-                 spec.maxInsts - std::min(done, spec.maxInsts));
-    } else {
-        while (done < spec.maxInsts) {
-            std::uint64_t chunk =
-                std::min(spec.checkpointEvery, spec.maxInsts - done);
-            std::uint64_t ran = runTrace(emu, engine, chunk);
-            done += ran;
-            CheckpointRefs refs{&emu, &engine, &done};
-            Status status = saveCheckpoint(spec.checkpointPath, refs);
-            if (!status.ok())
-                pabp_fatal(status.toString());
-            if (ran < chunk)
-                break; // workload halted before the budget
-        }
-    }
-    return engine.stats();
-}
-
-/** Timing run: returns pipeline + engine stats. */
-struct TimedResult
-{
-    PipelineStats pipe;
-    EngineStats engine;
-};
-
-inline TimedResult
-runTimedSpec(Workload wl, const RunSpec &spec,
-             const PipelineConfig &pcfg)
-{
-    CompileOptions copts = spec.compile;
-    copts.ifConvert = spec.ifConvert;
-    CompiledProgram cp = compileWorkload(wl, copts);
-
-    PredictorPtr pred = makePredictor(spec.predictor, spec.sizeLog2);
-    PredictionEngine engine(*pred, spec.engine);
-    Pipeline pipe(engine, pcfg);
-    Emulator emu(cp.prog);
-    if (wl.init)
-        wl.init(emu.state());
-    TimedResult result;
-    result.pipe = pipe.run(emu, spec.maxInsts);
-    result.engine = engine.stats();
-    return result;
-}
 
 /** Standard option block shared by all experiment binaries. */
 inline Options
@@ -137,11 +34,16 @@ standardOptions()
     opts.declare("steps", "1500000", "instructions per run");
     opts.declare("seed", "42", "workload input seed");
     opts.declare("csv", "0", "also print CSV");
+    opts.declare("jobs", "0",
+                 "parallel sweep workers (0 = hardware concurrency; "
+                 "output is identical at any value)");
     opts.declare("checkpoint-every", "0",
                  "checkpoint every N instructions (0 = off)");
     opts.declare("checkpoint-file", "pabp.ckpt",
-                 "checkpoint path for --checkpoint-every");
-    opts.declare("resume", "", "resume from a checkpoint file");
+                 "base checkpoint path for --checkpoint-every (each "
+                 "run derives pabp-<fingerprint>.ckpt from it)");
+    opts.declare("resume", "",
+                 "base checkpoint path to resume each run from");
     return opts;
 }
 
@@ -155,6 +57,15 @@ applyCheckpointOptions(RunSpec &spec, const Options &opts)
     spec.resumePath = opts.str("resume");
 }
 
+/** Build the runner config from the standard --jobs option. */
+inline SweepRunner::Config
+sweepConfigFromOptions(const Options &opts)
+{
+    SweepRunner::Config cfg;
+    cfg.jobs = static_cast<unsigned>(opts.integer("jobs"));
+    return cfg;
+}
+
 /** Print the table, optionally followed by CSV. */
 inline void
 emitTable(const Table &table, const Options &opts)
@@ -165,6 +76,19 @@ emitTable(const Table &table, const Options &opts)
         table.printCsv(std::cout);
     }
     std::cout << "\n";
+}
+
+/**
+ * Exit status for a finished grid: report failed cells on stderr and
+ * return nonzero when any cell failed, so run_experiments.sh treats
+ * a partially-failed binary as a failed run even though every
+ * healthy cell's numbers were still printed.
+ */
+inline int
+exitStatus(const std::vector<RunSpec> &specs,
+           const std::vector<RunResult> &results)
+{
+    return reportFailures(specs, results, std::cerr) ? 1 : 0;
 }
 
 } // namespace pabp::bench

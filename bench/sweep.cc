@@ -1,0 +1,448 @@
+#include "sweep.hh"
+
+#include <algorithm>
+#include <bit>
+#include <exception>
+#include <utility>
+
+#include "bpred/factory.hh"
+#include "bpred/gshare.hh"
+#include "core/checkpoint.hh"
+#include "sim/emulator.hh"
+#include "util/thread_pool.hh"
+
+namespace pabp::bench {
+
+namespace {
+
+/** FNV-1a accumulator with typed feeders so the fingerprint is a
+ *  stable function of field VALUES, not of struct layout. */
+class Fnv
+{
+  public:
+    void
+    bytes(const void *data, std::size_t len)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < len; ++i) {
+            hash ^= p[i];
+            hash *= 0x100000001b3ull;
+        }
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        bytes(&v, sizeof(v));
+    }
+
+    void u32(std::uint32_t v) { u64(v); }
+    void b(bool v) { u64(v ? 1 : 0); }
+    void d(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    std::uint64_t value() const { return hash; }
+
+  private:
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+};
+
+std::uint64_t
+resolvedCompileSeed(const RunSpec &spec)
+{
+    return spec.compileSeed.value_or(spec.seed);
+}
+
+void
+hashCompileOptions(Fnv &fnv, const CompileOptions &copts,
+                   bool if_convert)
+{
+    fnv.b(if_convert);
+    fnv.b(copts.simplifyCfg);
+    fnv.u32(copts.heuristics.maxBlocks);
+    fnv.u32(copts.heuristics.maxBodyInsts);
+    fnv.d(copts.heuristics.minWeightRatio);
+    fnv.u64(copts.heuristics.minSeedExec);
+    fnv.d(copts.heuristics.minSeedMispredictRatio);
+    fnv.b(copts.lowering.sinkExits);
+    fnv.u64(copts.profileSteps);
+}
+
+void
+hashEngineConfig(Fnv &fnv, const EngineConfig &e)
+{
+    fnv.b(e.useSfpf);
+    fnv.b(e.usePgu);
+    fnv.u32(e.availDelay);
+    fnv.u32(static_cast<std::uint32_t>(e.pgu.source));
+    fnv.u32(static_cast<std::uint32_t>(e.pgu.value));
+    fnv.b(e.pgu.includePSet);
+    fnv.u32(e.pgu.delay);
+    fnv.b(e.trainOnSquashed);
+    fnv.b(e.conservativeDefTracking);
+    fnv.b(e.useSpeculativeSquash);
+    fnv.u32(e.pvpEntriesLog2);
+    fnv.u32(static_cast<std::uint32_t>(e.specGate));
+    fnv.u32(e.jrsEntriesLog2);
+}
+
+/** Build the spec's workload for the given input seed. */
+Expected<Workload>
+materialiseWorkload(const RunSpec &spec, std::uint64_t seed)
+{
+    if (spec.factory)
+        return spec.factory(seed);
+    if (spec.workload.empty())
+        return Status(StatusCode::InvalidArgument,
+                      "run spec names no workload");
+    const std::vector<std::string> known = workloadNames();
+    if (std::find(known.begin(), known.end(), spec.workload) ==
+        known.end())
+        return Status(StatusCode::NotFound,
+                      "unknown workload: " + spec.workload);
+    return makeWorkload(spec.workload, seed);
+}
+
+/** Resume outcomes that mean "start this cell fresh" rather than
+ *  "this cell failed": the file is missing (the interrupted sweep
+ *  never got to checkpoint this cell) or it belongs to a different
+ *  configuration (fingerprint/section mismatch). Damage - CRC, bad
+ *  magic, truncation - stays an error. */
+bool
+resumeFallsBackToFresh(const Status &status)
+{
+    return status.code() == StatusCode::IoError ||
+        status.code() == StatusCode::InvalidArgument;
+}
+
+} // anonymous namespace
+
+std::uint64_t
+specFingerprint(const RunSpec &spec)
+{
+    Fnv fnv;
+    fnv.str("pabp-runspec-v1");
+    fnv.str(spec.workload);
+    fnv.u64(spec.seed);
+    fnv.u64(resolvedCompileSeed(spec));
+    fnv.u32(static_cast<std::uint32_t>(spec.mode));
+    fnv.str(spec.predictor);
+    fnv.u32(spec.sizeLog2);
+    hashEngineConfig(fnv, spec.engine);
+    hashCompileOptions(fnv, spec.compile, spec.ifConvert);
+    fnv.u64(spec.maxInsts);
+    fnv.b(spec.profileConflicts);
+    return fnv.value();
+}
+
+std::string
+derivedCheckpointPath(const std::string &base,
+                      std::uint64_t fingerprint)
+{
+    char fp[20];
+    std::snprintf(fp, sizeof(fp), "-%016llx",
+                  static_cast<unsigned long long>(fingerprint));
+    std::size_t slash = base.find_last_of('/');
+    std::size_t dot = base.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return base + fp;
+    return base.substr(0, dot) + fp + base.substr(dot);
+}
+
+SweepRunner::SweepRunner(Config config)
+    : jobs(config.jobs ? config.jobs : defaultThreadCount()),
+      queueCapacity(config.queueCapacity)
+{}
+
+Expected<SweepRunner::ProgramHandle>
+SweepRunner::compiledFor(const RunSpec &spec)
+{
+    Fnv copt_hash;
+    hashCompileOptions(copt_hash, spec.compile, spec.ifConvert);
+    std::string key = spec.workload + ":" +
+        std::to_string(resolvedCompileSeed(spec)) + ":" +
+        std::to_string(copt_hash.value());
+
+    std::promise<ProgramHandle> promise;
+    std::shared_future<ProgramHandle> future;
+    bool compile_here = false;
+    {
+        std::lock_guard<std::mutex> lock(cacheMtx);
+        auto it = cache.find(key);
+        if (it == cache.end()) {
+            future = promise.get_future().share();
+            cache.emplace(key, future);
+            compile_here = true;
+            ++stats.compiles;
+        } else {
+            future = it->second;
+            ++stats.hits;
+        }
+    }
+    if (!compile_here)
+        return future.get();
+
+    // First requester of this key compiles; everyone else blocks on
+    // the shared future and then reads the same immutable program.
+    Expected<Workload> wl =
+        materialiseWorkload(spec, resolvedCompileSeed(spec));
+    if (!wl.ok()) {
+        // Unblock any waiters with an empty handle; they re-derive
+        // the same error from their own spec.
+        promise.set_value(nullptr);
+        return wl.status();
+    }
+    CompileOptions copts = spec.compile;
+    copts.ifConvert = spec.ifConvert;
+    ProgramHandle handle = std::make_shared<const CompiledProgram>(
+        compileWorkload(wl.value(), copts));
+    promise.set_value(handle);
+    return handle;
+}
+
+RunResult
+SweepRunner::executeSpecGuarded(const RunSpec &spec)
+{
+    try {
+        return executeSpec(spec);
+    } catch (const std::exception &e) {
+        RunResult result;
+        result.status =
+            Status(StatusCode::Corrupt,
+                   std::string("unhandled exception in sweep cell: ") +
+                       e.what());
+        return result;
+    }
+}
+
+RunResult
+SweepRunner::executeSpec(const RunSpec &spec)
+{
+    RunResult result;
+
+    Expected<ProgramHandle> program = compiledFor(spec);
+    if (!program.ok()) {
+        result.status = program.status();
+        return result;
+    }
+    if (!program.value()) {
+        // A waiter whose compiling peer hit a workload error: report
+        // it from this spec's own view.
+        Expected<Workload> wl =
+            materialiseWorkload(spec, resolvedCompileSeed(spec));
+        result.status = wl.ok()
+            ? Status(StatusCode::NotFound,
+                     "workload compilation failed for " + spec.workload)
+            : wl.status();
+        return result;
+    }
+    const CompiledProgram &cp = *program.value();
+    result.numRegions = cp.info.numRegions;
+    result.numRegionBranches = cp.info.numRegionBranches;
+
+    // The measured run's memory image comes from the measurement
+    // seed (== compile seed unless a cross-input spec says otherwise).
+    Expected<Workload> init_wl = materialiseWorkload(spec, spec.seed);
+    if (!init_wl.ok()) {
+        result.status = init_wl.status();
+        return result;
+    }
+    const StateInit &init = init_wl.value().init;
+
+    if (spec.mode == RunMode::Observe) {
+        if (!spec.observe) {
+            result.status = Status(StatusCode::InvalidArgument,
+                                   "Observe spec has no observer");
+            return result;
+        }
+        Emulator emu(cp.prog);
+        if (init)
+            init(emu.state());
+        DynInst dyn;
+        std::uint64_t executed = 0;
+        while (executed < spec.maxInsts && emu.step(dyn)) {
+            spec.observe(dyn);
+            ++executed;
+        }
+        result.engine.insts = executed;
+        return result;
+    }
+
+    // Build the predictor; a bad spec fails this cell with a typed
+    // error instead of aborting the whole sweep from a worker.
+    PredictorPtr owned;
+    GSharePredictor *gshare = nullptr;
+    if (spec.profileConflicts) {
+        if (spec.predictor != "gshare") {
+            result.status =
+                Status(StatusCode::InvalidArgument,
+                       "conflict profiling requires the gshare "
+                       "predictor, got: " + spec.predictor);
+            return result;
+        }
+        auto g = std::make_unique<GSharePredictor>(spec.sizeLog2);
+        g->enableConflictProfiling();
+        gshare = g.get();
+        owned = std::move(g);
+    } else {
+        Expected<PredictorPtr> made =
+            tryMakePredictor(spec.predictor, spec.sizeLog2);
+        if (!made.ok()) {
+            result.status = made.status();
+            return result;
+        }
+        owned = std::move(made.value());
+    }
+
+    if (spec.mode == RunMode::Timed) {
+        PredictionEngine engine(*owned, spec.engine);
+        Pipeline pipe(engine, spec.pipeline);
+        Emulator emu(cp.prog);
+        if (init)
+            init(emu.state());
+        result.pipe = pipe.run(emu, spec.maxInsts);
+        result.engine = engine.stats();
+        result.pguBits = engine.pguBitsInserted();
+        return result;
+    }
+
+    // Trace mode, with checkpoint/resume. Resume is attempted at
+    // most once, and the mismatch fallback is a LOOP that rebuilds
+    // only the cheap per-run state (predictor, engine, emulator) -
+    // the compiled program is reused, never recompiled.
+    const std::uint64_t fp = specFingerprint(spec);
+    const std::string ckpt_file = spec.checkpointEvery
+        ? derivedCheckpointPath(spec.checkpointPath, fp)
+        : std::string();
+    const std::string resume_file = spec.resumePath.empty()
+        ? std::string()
+        : derivedCheckpointPath(spec.resumePath, fp);
+
+    std::optional<PredictionEngine> engine;
+    std::optional<Emulator> emu;
+    std::uint64_t done = 0;
+    for (bool try_resume = !resume_file.empty();;) {
+        // (Re)build all mutable run state from scratch; a failed
+        // load may have scribbled on the previous instances.
+        engine.emplace(*owned, spec.engine);
+        emu.emplace(cp.prog);
+        if (init)
+            init(emu->state());
+        done = 0;
+        if (!try_resume)
+            break;
+        CheckpointRefs refs{&*emu, &*engine, &done};
+        Status status = loadCheckpoint(resume_file, refs);
+        if (status.ok()) {
+            result.resumed = true;
+            break;
+        }
+        if (resumeFallsBackToFresh(status)) {
+            try_resume = false;
+            // The predictor carries loaded state too; rebuild it the
+            // same way the fresh path did.
+            if (gshare) {
+                auto g = std::make_unique<GSharePredictor>(
+                    spec.sizeLog2);
+                g->enableConflictProfiling();
+                gshare = g.get();
+                owned = std::move(g);
+            } else {
+                owned = std::move(
+                    tryMakePredictor(spec.predictor, spec.sizeLog2)
+                        .value());
+            }
+            continue;
+        }
+        result.status = status; // damaged artifact: fail the cell
+        return result;
+    }
+
+    if (spec.checkpointEvery == 0) {
+        runTrace(*emu, *engine,
+                 spec.maxInsts - std::min(done, spec.maxInsts));
+    } else {
+        while (done < spec.maxInsts) {
+            std::uint64_t chunk =
+                std::min(spec.checkpointEvery, spec.maxInsts - done);
+            std::uint64_t ran = runTrace(*emu, *engine, chunk);
+            done += ran;
+            CheckpointRefs refs{&*emu, &*engine, &done};
+            Status status = saveCheckpoint(ckpt_file, refs);
+            if (!status.ok()) {
+                result.status = status;
+                return result;
+            }
+            if (ran < chunk)
+                break; // workload halted before the budget
+        }
+    }
+    result.engine = engine->stats();
+    result.pguBits = engine->pguBitsInserted();
+    if (gshare) {
+        result.lookups = gshare->lookupCount();
+        result.conflicts = gshare->conflictCount();
+    }
+    return result;
+}
+
+std::vector<RunResult>
+SweepRunner::run(const std::vector<RunSpec> &specs)
+{
+    std::vector<RunResult> results(specs.size());
+    if (jobs <= 1 || specs.size() <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            results[i] = executeSpecGuarded(specs[i]);
+        return results;
+    }
+    ThreadPool pool(jobs, queueCapacity);
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        pool.submit([this, &specs, &results, i] {
+            results[i] = executeSpecGuarded(specs[i]);
+        });
+    pool.drain();
+    return results;
+}
+
+RunResult
+SweepRunner::runOne(const RunSpec &spec)
+{
+    return executeSpecGuarded(spec);
+}
+
+SweepRunner::CacheStats
+SweepRunner::cacheStats() const
+{
+    std::lock_guard<std::mutex> lock(cacheMtx);
+    return stats;
+}
+
+std::size_t
+reportFailures(const std::vector<RunSpec> &specs,
+               const std::vector<RunResult> &results,
+               std::ostream &err)
+{
+    std::size_t failed = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].status.ok())
+            continue;
+        ++failed;
+        const std::string &wl =
+            i < specs.size() ? specs[i].workload : std::string("?");
+        const std::string &pred = i < specs.size()
+            ? specs[i].predictor
+            : std::string("?");
+        err << "sweep cell #" << i << " (" << wl << ", " << pred
+            << ") failed: " << results[i].status.toString() << "\n";
+    }
+    return failed;
+}
+
+} // namespace pabp::bench

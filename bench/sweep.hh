@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Deterministic parallel sweep runner for the experiment binaries.
+ *
+ * Every experiment is a grid of independent simulations: (workload,
+ * predictor, size, engine config, compile config) cells whose results
+ * are assembled into tables. SweepRunner executes such a grid across
+ * a fixed-size worker pool and hands the results back IN SUBMISSION
+ * ORDER, so every printed table and --csv file is byte-identical
+ * regardless of thread count (--jobs 1 reproduces the old serial
+ * behaviour bit for bit).
+ *
+ * Determinism contract (see docs/PARALLEL.md):
+ *  - results are collected by submission index, never completion order;
+ *  - every piece of mutable simulation state (Emulator, predictor,
+ *    PredictionEngine, Pipeline, workload init closures, Rng streams)
+ *    is constructed per run and touched by exactly one worker;
+ *  - compiled programs are shared across runs strictly read-only,
+ *    through a cache keyed by (workload id, compile-seed, compile
+ *    options fingerprint) - a sweep that varies only the predictor
+ *    side compiles each workload once.
+ *
+ * Failure contract: a cell that cannot run (unknown predictor or
+ * workload, damaged checkpoint, leaked exception) fails THAT CELL
+ * with a typed pabp::Status in its RunResult; the rest of the grid
+ * completes. Nothing in the sweep layer calls pabp_fatal.
+ */
+
+#ifndef PABP_BENCH_SWEEP_HH
+#define PABP_BENCH_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "compiler/compile.hh"
+#include "core/engine.hh"
+#include "pipeline/pipeline.hh"
+#include "util/status.hh"
+#include "workloads/workload.hh"
+
+namespace pabp::bench {
+
+/** Builds a Workload from an input seed (memory image + profile). */
+using WorkloadFactory = std::function<Workload(std::uint64_t seed)>;
+
+/** What kind of simulation a cell runs. */
+enum class RunMode : std::uint8_t
+{
+    Trace, ///< prediction engine over the dynamic trace (EngineStats)
+    Timed, ///< cycle-level pipeline run (PipelineStats + EngineStats)
+    Observe, ///< step the emulator, call RunSpec::observe per DynInst
+};
+
+/** One experiment cell. */
+struct RunSpec
+{
+    /**
+     * Workload identity. With no factory, @p workload names a suite
+     * member (workloads/workload.hh). With a factory, @p workload is
+     * the cache/display id and MUST uniquely identify the program
+     * the factory builds (e.g. "bias-0.70", not just "bias"): the
+     * compiled-program cache trusts it.
+     */
+    std::string workload;
+    WorkloadFactory factory;
+
+    /** Measurement input seed (memory image for the measured run). */
+    std::uint64_t seed = 42;
+    /** Profiling/compilation input seed; defaults to @p seed. A
+     *  different value gives SPEC-style train/ref cross-input runs. */
+    std::optional<std::uint64_t> compileSeed;
+
+    RunMode mode = RunMode::Trace;
+    PipelineConfig pipeline; ///< Timed mode only
+
+    std::string predictor = "gshare";
+    unsigned sizeLog2 = 12;
+    bool ifConvert = true;
+    EngineConfig engine;
+    CompileOptions compile;
+    std::uint64_t maxInsts = 1'500'000;
+
+    /**
+     * Checkpoint/resume knobs (core/checkpoint.hh), Trace mode only.
+     * Both paths are BASE names: the artifact actually written and
+     * read is derivedCheckpointPath(base, specFingerprint(spec)) -
+     * e.g. "pabp-<fp>.ckpt" - so every cell of a sweep checkpoints
+     * to its own file and resumes from its own file. Resume is
+     * best-effort per cell: a missing file or one whose fingerprint
+     * belongs to another spec falls back to a fresh run; a damaged
+     * file fails the cell with a typed error.
+     */
+    std::uint64_t checkpointEvery = 0; ///< instructions; 0 = off
+    std::string checkpointPath = "pabp.ckpt";
+    std::string resumePath;
+
+    /** Count gshare pattern-table conflicts (predictor must be
+     *  "gshare"); fills RunResult::lookups/conflicts. */
+    bool profileConflicts = false;
+
+    /** Observe mode: called for every dynamic instruction. The
+     *  closure's state is owned by this spec alone - one worker. */
+    std::function<void(const DynInst &)> observe;
+};
+
+/** What one cell produced. */
+struct RunResult
+{
+    Status status; ///< non-Ok: the cell failed, counters are zero
+    EngineStats engine;
+    PipelineStats pipe;       ///< Timed mode only
+    std::uint64_t pguBits = 0;
+    std::uint64_t lookups = 0;   ///< profileConflicts only
+    std::uint64_t conflicts = 0; ///< profileConflicts only
+    std::uint64_t numRegions = 0;        ///< static regions compiled
+    std::uint64_t numRegionBranches = 0; ///< static side exits
+    bool resumed = false; ///< continued from a matching checkpoint
+};
+
+/**
+ * 64-bit FNV-1a fingerprint over every behaviour-defining field of a
+ * spec (workload id, seeds, mode, predictor, engine + compile
+ * configuration, budget) - NOT over the checkpoint knobs themselves.
+ * Two specs that would simulate differently get different prints;
+ * the same spec resumed later reproduces its print exactly.
+ */
+std::uint64_t specFingerprint(const RunSpec &spec);
+
+/** "results/pabp.ckpt" + 0xfp -> "results/pabp-<16 hex>.ckpt". */
+std::string derivedCheckpointPath(const std::string &base,
+                                  std::uint64_t fingerprint);
+
+/** Executes RunSpec grids over a worker pool. */
+class SweepRunner
+{
+  public:
+    struct Config
+    {
+        /** Worker threads; 0 = hardware concurrency, 1 = run the
+         *  grid inline on the calling thread (strictly serial). */
+        unsigned jobs = 0;
+        /** Bounded work-queue depth; 0 = 2x workers. */
+        std::size_t queueCapacity = 0;
+    };
+
+    struct CacheStats
+    {
+        std::uint64_t compiles = 0; ///< distinct programs built
+        std::uint64_t hits = 0;     ///< runs served a cached program
+    };
+
+    SweepRunner() : SweepRunner(Config{}) {}
+    explicit SweepRunner(Config config);
+
+    /** Run every spec; results match @p specs index for index. */
+    std::vector<RunResult> run(const std::vector<RunSpec> &specs);
+
+    /** Execute one spec on the calling thread (cache still applies). */
+    RunResult runOne(const RunSpec &spec);
+
+    CacheStats cacheStats() const;
+    unsigned effectiveJobs() const { return jobs; }
+
+  private:
+    using ProgramHandle = std::shared_ptr<const CompiledProgram>;
+
+    RunResult executeSpec(const RunSpec &spec);
+    RunResult executeSpecGuarded(const RunSpec &spec);
+    Expected<ProgramHandle> compiledFor(const RunSpec &spec);
+
+    unsigned jobs;
+    std::size_t queueCapacity;
+
+    mutable std::mutex cacheMtx;
+    std::map<std::string, std::shared_future<ProgramHandle>> cache;
+    CacheStats stats;
+};
+
+/**
+ * Print every failed cell (index, workload, predictor, status) to
+ * @p err and return the failure count - the binaries' exit status is
+ * `reportFailures(...) ? 1 : 0`, so run_experiments.sh still notices
+ * a broken cell while the rest of the grid's tables print normally.
+ */
+std::size_t reportFailures(const std::vector<RunSpec> &specs,
+                           const std::vector<RunResult> &results,
+                           std::ostream &err);
+
+} // namespace pabp::bench
+
+#endif // PABP_BENCH_SWEEP_HH

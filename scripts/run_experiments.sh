@@ -5,8 +5,15 @@
 # Exits nonzero when the build, the tests, or ANY experiment binary
 # fails - a bench crash must not silently yield a truncated
 # bench_output.txt that looks like a complete run.
+#
+# JOBS controls the sweep parallelism inside each experiment binary
+# (the --jobs flag; 0 = one worker per hardware thread). Output is
+# byte-identical at any JOBS value, so it defaults to full
+# parallelism.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-0}
 
 cmake -B build -G Ninja
 cmake --build build
@@ -15,7 +22,14 @@ test "${PIPESTATUS[0]}" -eq 0
 
 {
     for b in build/bench/*; do
-        if ! "$b"; then
+        case "$b" in
+            # The google-benchmark micro suite times the host and
+            # takes no --jobs flag.
+            */bench_e11_micro) args="" ;;
+            *) args="--jobs $JOBS" ;;
+        esac
+        # shellcheck disable=SC2086
+        if ! "$b" $args; then
             echo "FAILED: $b"
         fi
     done

@@ -5,6 +5,13 @@
 # fault-injection tests are the main beneficiary: they walk every
 # degraded path in the trace/checkpoint readers, where an
 # out-of-bounds read on corrupt input would otherwise hide.
+#
+# A second stage rebuilds under ThreadSanitizer (PABP_TSAN) and runs
+# the concurrency-bearing tests - the thread pool and the parallel
+# sweep runner, including the jobs-1-vs-N determinism suite - so a
+# data race in the sweep layer fails CI instead of surfacing as a
+# once-in-a-thousand-runs wrong table. Set PABP_SKIP_TSAN=1 to run
+# only the ASan/UBSan stage.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,3 +20,11 @@ BUILD_DIR=${BUILD_DIR:-build-asan}
 cmake -B "$BUILD_DIR" -G Ninja -DPABP_SANITIZE=ON
 cmake --build "$BUILD_DIR"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [ "${PABP_SKIP_TSAN:-0}" != "1" ]; then
+    TSAN_DIR=${TSAN_DIR:-build-tsan}
+    cmake -B "$TSAN_DIR" -G Ninja -DPABP_TSAN=ON
+    cmake --build "$TSAN_DIR" --target pabp_tests
+    ctest --test-dir "$TSAN_DIR" --output-on-failure \
+        -R 'ThreadPool|Sweep'
+fi

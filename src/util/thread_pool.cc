@@ -1,0 +1,102 @@
+#include "util/thread_pool.hh"
+
+#include "util/logging.hh"
+
+namespace pabp {
+
+unsigned
+defaultThreadCount()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads, std::size_t queue_capacity)
+    : capacity(queue_capacity ? queue_capacity
+                              : static_cast<std::size_t>(threads) * 2)
+{
+    pabp_assert(threads >= 1);
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cvWork.notify_all();
+    for (std::thread &worker : workers)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    pabp_assert(task);
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        cvSpace.wait(lock,
+                     [this] { return queue.size() < capacity; });
+        queue.push_back(std::move(task));
+    }
+    cvWork.notify_one();
+}
+
+void
+ThreadPool::drain()
+{
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        cvIdle.wait(lock,
+                    [this] { return queue.empty() && active == 0; });
+        error = firstError;
+        firstError = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+std::size_t
+ThreadPool::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return queue.size();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cvWork.wait(lock,
+                        [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping, nothing left to run
+            task = std::move(queue.front());
+            queue.pop_front();
+            ++active;
+        }
+        cvSpace.notify_one();
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mtx);
+            if (!firstError)
+                firstError = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            --active;
+            if (queue.empty() && active == 0)
+                cvIdle.notify_all();
+        }
+    }
+}
+
+} // namespace pabp

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fixed-size worker pool with a bounded work queue - the execution
+ * substrate of the parallel sweep runner (bench/sweep.hh).
+ *
+ * Design constraints, in order:
+ *  - Bounded queue: submit() blocks while the queue is at capacity,
+ *    so a producer enumerating a huge sweep grid can never get more
+ *    than queueCapacity() tasks ahead of the workers (backpressure,
+ *    not unbounded buffering).
+ *  - Exception containment: a task that throws must not kill the
+ *    pool or the process. The first escaped exception is captured
+ *    and rethrown from drain(); later tasks still run. (The sweep
+ *    layer converts its own failures to pabp::Status per cell and
+ *    should never reach this backstop - it exists for bugs.)
+ *  - No result plumbing: tasks write their results wherever they
+ *    like (the sweep runner hands each task a slot index, which is
+ *    what makes collection order deterministic). The pool only runs
+ *    closures.
+ */
+
+#ifndef PABP_UTIL_THREAD_POOL_HH
+#define PABP_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pabp {
+
+/** Number of workers to use for "as many as the machine has". */
+unsigned defaultThreadCount();
+
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p threads workers. @p queue_capacity bounds the number
+     * of submitted-but-not-started tasks; 0 picks twice the thread
+     * count. @p threads must be at least 1.
+     */
+    explicit ThreadPool(unsigned threads, std::size_t queue_capacity = 0);
+
+    /** Joins all workers; pending tasks are still executed. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue a task, blocking while the queue is full. Must not be
+     * called after drain() has begun on another thread, or from a
+     * worker (a task submitting to its own full pool would deadlock
+     * by design - the queue bound is a hard contract).
+     */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has finished, then rethrow
+     * the first exception any task leaked (if any). The pool is
+     * reusable afterwards.
+     */
+    void drain();
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+    std::size_t queueCapacity() const { return capacity; }
+
+    /** Submitted-but-not-started tasks (diagnostics/tests). */
+    std::size_t queueDepth() const;
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    mutable std::mutex mtx;
+    std::condition_variable cvWork;  ///< workers: queue non-empty/stop
+    std::condition_variable cvSpace; ///< producers: queue has room
+    std::condition_variable cvIdle;  ///< drain(): all work finished
+    std::size_t capacity;
+    unsigned active = 0; ///< tasks currently executing
+    bool stopping = false;
+    std::exception_ptr firstError;
+};
+
+} // namespace pabp
+
+#endif // PABP_UTIL_THREAD_POOL_HH
