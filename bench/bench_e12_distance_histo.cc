@@ -87,6 +87,7 @@ main(int argc, char **argv)
         specs.push_back(spec);
     }
 
+    applyMetricsOptions(specs, opts);
     SweepRunner runner(sweepConfigFromOptions(opts));
     std::vector<RunResult> results = runner.run(specs);
 

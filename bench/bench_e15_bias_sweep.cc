@@ -70,6 +70,7 @@ main(int argc, char **argv)
         specs.push_back(both);
     }
 
+    applyMetricsOptions(specs, opts);
     SweepRunner runner(sweepConfigFromOptions(opts));
     std::vector<RunResult> results = runner.run(specs);
 

@@ -44,6 +44,7 @@ main(int argc, char **argv)
         specs.push_back(with);
     }
 
+    applyMetricsOptions(specs, opts);
     SweepRunner runner(sweepConfigFromOptions(opts));
     std::vector<RunResult> results = runner.run(specs);
 

@@ -72,6 +72,7 @@ main(int argc, char **argv)
     for (double theta : thetas)
         pointSpecs(theta, true);
 
+    applyMetricsOptions(specs, opts);
     SweepRunner runner(sweepConfigFromOptions(opts));
     std::vector<RunResult> results = runner.run(specs);
 

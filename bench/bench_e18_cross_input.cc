@@ -54,6 +54,7 @@ main(int argc, char **argv)
         specs.push_back(same);
     }
 
+    applyMetricsOptions(specs, opts);
     SweepRunner runner(sweepConfigFromOptions(opts));
     std::vector<RunResult> results = runner.run(specs);
 

@@ -50,6 +50,7 @@ main(int argc, char **argv)
         }
     }
 
+    applyMetricsOptions(specs, opts);
     SweepRunner runner(sweepConfigFromOptions(opts));
     std::vector<RunResult> results = runner.run(specs);
 

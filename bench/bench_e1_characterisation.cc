@@ -48,6 +48,7 @@ main(int argc, char **argv)
         specs.push_back(pred);
     }
 
+    applyMetricsOptions(specs, opts);
     SweepRunner runner(sweepConfigFromOptions(opts));
     std::vector<RunResult> results = runner.run(specs);
 

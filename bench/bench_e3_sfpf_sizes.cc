@@ -64,6 +64,7 @@ main(int argc, char **argv)
         specs.push_back(sfpf);
     }
 
+    applyMetricsOptions(specs, opts);
     SweepRunner runner(sweepConfigFromOptions(opts));
     std::vector<RunResult> results = runner.run(specs);
 

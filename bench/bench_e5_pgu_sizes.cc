@@ -63,6 +63,7 @@ main(int argc, char **argv)
         specs.push_back(pgu);
     }
 
+    applyMetricsOptions(specs, opts);
     SweepRunner runner(sweepConfigFromOptions(opts));
     std::vector<RunResult> results = runner.run(specs);
 

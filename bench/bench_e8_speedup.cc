@@ -84,6 +84,7 @@ main(int argc, char **argv)
         }
     }
 
+    applyMetricsOptions(specs, opts);
     SweepRunner runner(sweepConfigFromOptions(opts));
     std::vector<RunResult> results = runner.run(specs);
 

@@ -44,10 +44,13 @@ standardOptions()
                  "run derives pabp-<fingerprint>.ckpt from it)");
     opts.declare("resume", "",
                  "base checkpoint path to resume each run from");
+    opts.declare("metrics-dir", "",
+                 "export per-cell metrics JSON into this directory "
+                 "(pabp-metrics-<fingerprint>.json; empty = off)");
     return opts;
 }
 
-/** Copy the standard checkpoint options into a run spec. */
+/** Copy the standard checkpoint + metrics options into a run spec. */
 inline void
 applyCheckpointOptions(RunSpec &spec, const Options &opts)
 {
@@ -55,6 +58,17 @@ applyCheckpointOptions(RunSpec &spec, const Options &opts)
         static_cast<std::uint64_t>(opts.integer("checkpoint-every"));
     spec.checkpointPath = opts.str("checkpoint-file");
     spec.resumePath = opts.str("resume");
+    spec.metricsDir = opts.str("metrics-dir");
+}
+
+/** Fill RunSpec::metricsDir on a whole grid from --metrics-dir, for
+ *  binaries that do not route specs through applyCheckpointOptions. */
+inline void
+applyMetricsOptions(std::vector<RunSpec> &specs, const Options &opts)
+{
+    const std::string dir = opts.str("metrics-dir");
+    for (RunSpec &spec : specs)
+        spec.metricsDir = dir;
 }
 
 /** Build the runner config from the standard --jobs option. */

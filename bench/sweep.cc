@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
 #include <exception>
+#include <filesystem>
+#include <system_error>
 #include <utility>
 
 #include "bpred/factory.hh"
 #include "bpred/gshare.hh"
 #include "core/checkpoint.hh"
 #include "sim/emulator.hh"
+#include "util/metrics.hh"
+#include "util/stats.hh"
 #include "util/thread_pool.hh"
 
 namespace pabp::bench {
@@ -121,6 +126,78 @@ resumeFallsBackToFresh(const Status &status)
         status.code() == StatusCode::InvalidArgument;
 }
 
+/**
+ * Export one finished cell's metrics (docs/OBSERVABILITY.md). The
+ * engine must still be alive: the export snapshots the StatGroup the
+ * engine registers its gauges into, which is also what pins the
+ * registry path itself in every metrics-enabled sweep.
+ *
+ * RunResult::resumed is deliberately NOT exported: the resume
+ * equivalence contract promises a resumed run's metrics file is
+ * byte-identical to an uninterrupted one's.
+ */
+Status
+writeCellMetrics(const RunSpec &spec, const RunResult &result,
+                 PredictionEngine *engine)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(spec.metricsDir, ec);
+    if (ec)
+        return Status(StatusCode::IoError,
+                      "cannot create metrics directory '" +
+                          spec.metricsDir + "': " + ec.message());
+
+    MetricsExporter ex;
+    ex.setText("spec.workload", spec.workload);
+    ex.setText("spec.predictor", spec.predictor);
+    ex.setText("spec.mode",
+               spec.mode == RunMode::Timed
+                   ? "timed"
+                   : spec.mode == RunMode::Observe ? "observe"
+                                                   : "trace");
+    ex.setInt("spec.size_log2", spec.sizeLog2);
+    ex.setInt("spec.seed", spec.seed);
+    ex.setInt("spec.compile_seed", resolvedCompileSeed(spec));
+    ex.setInt("spec.max_insts", spec.maxInsts);
+    const std::uint64_t fp = specFingerprint(spec);
+    char fp_hex[17];
+    std::snprintf(fp_hex, sizeof(fp_hex), "%016llx",
+                  static_cast<unsigned long long>(fp));
+    ex.setText("spec.fingerprint", fp_hex);
+
+    StatGroup group;
+    if (engine) {
+        engine->registerStats(group);
+        ex.addGroup(group);
+        ex.setReal("engine.mpki", engine->stats().mpki());
+        engine->branchProfile().exportTo(ex);
+    } else {
+        // Observe-mode cell: no engine ran, only the instruction
+        // budget actually executed is meaningful.
+        ex.setInt("engine.insts", result.engine.insts);
+    }
+
+    ex.setInt("compile.num_regions", result.numRegions);
+    ex.setInt("compile.num_region_branches", result.numRegionBranches);
+
+    if (spec.mode == RunMode::Timed) {
+        const PipelineStats &p = result.pipe;
+        ex.setInt("pipeline.insts", p.insts);
+        ex.setInt("pipeline.cycles", p.cycles);
+        ex.setInt("pipeline.icache_misses", p.icacheMisses);
+        ex.setInt("pipeline.dcache_misses", p.dcacheMisses);
+        ex.setInt("pipeline.l2_misses", p.l2Misses);
+        ex.setInt("pipeline.btb_misses", p.btbMisses);
+        ex.setInt("pipeline.ras_hits", p.rasHits);
+        ex.setInt("pipeline.ras_misses", p.rasMisses);
+        ex.setInt("pipeline.mispredict_stall_cycles",
+                  p.mispredictStallCycles);
+        ex.setReal("pipeline.ipc", p.ipc());
+    }
+
+    return ex.writeJsonFile(metricsFilePath(spec.metricsDir, fp));
+}
+
 } // anonymous namespace
 
 std::uint64_t
@@ -154,6 +231,16 @@ derivedCheckpointPath(const std::string &base,
         (slash != std::string::npos && dot < slash))
         return base + fp;
     return base.substr(0, dot) + fp + base.substr(dot);
+}
+
+std::string
+metricsFilePath(const std::string &dir, std::uint64_t fingerprint)
+{
+    char fp[20];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(fingerprint));
+    std::string sep = dir.empty() || dir.back() == '/' ? "" : "/";
+    return dir + sep + "pabp-metrics-" + fp + ".json";
 }
 
 SweepRunner::SweepRunner(Config config)
@@ -272,6 +359,8 @@ SweepRunner::executeSpec(const RunSpec &spec)
             ++executed;
         }
         result.engine.insts = executed;
+        if (!spec.metricsDir.empty())
+            result.status = writeCellMetrics(spec, result, nullptr);
         return result;
     }
 
@@ -310,6 +399,9 @@ SweepRunner::executeSpec(const RunSpec &spec)
         result.pipe = pipe.run(emu, spec.maxInsts);
         result.engine = engine.stats();
         result.pguBits = engine.pguBitsInserted();
+        result.profile = engine.branchProfile();
+        if (!spec.metricsDir.empty())
+            result.status = writeCellMetrics(spec, result, &engine);
         return result;
     }
 
@@ -386,10 +478,13 @@ SweepRunner::executeSpec(const RunSpec &spec)
     }
     result.engine = engine->stats();
     result.pguBits = engine->pguBitsInserted();
+    result.profile = engine->branchProfile();
     if (gshare) {
         result.lookups = gshare->lookupCount();
         result.conflicts = gshare->conflictCount();
     }
+    if (!spec.metricsDir.empty())
+        result.status = writeCellMetrics(spec, result, &*engine);
     return result;
 }
 

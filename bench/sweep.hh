@@ -106,6 +106,19 @@ struct RunSpec
      *  "gshare"); fills RunResult::lookups/conflicts. */
     bool profileConflicts = false;
 
+    /**
+     * When non-empty, every Trace/Timed cell exports its full metric
+     * set (util/metrics.hh) to
+     * "<metricsDir>/pabp-metrics-<16 hex fingerprint>.json" after the
+     * run. The directory is created on demand; a cell that cannot
+     * write its file FAILS with IoError (a sweep that silently lost
+     * its measurements would be worse than one that failed loudly).
+     * Purely observational - not part of specFingerprint(), exactly
+     * like the checkpoint paths. Observe-mode cells have no engine
+     * and export nothing.
+     */
+    std::string metricsDir;
+
     /** Observe mode: called for every dynamic instruction. The
      *  closure's state is owned by this spec alone - one worker. */
     std::function<void(const DynInst &)> observe;
@@ -117,6 +130,7 @@ struct RunResult
     Status status; ///< non-Ok: the cell failed, counters are zero
     EngineStats engine;
     PipelineStats pipe;       ///< Timed mode only
+    BranchProfile profile;    ///< per-static-branch attribution
     std::uint64_t pguBits = 0;
     std::uint64_t lookups = 0;   ///< profileConflicts only
     std::uint64_t conflicts = 0; ///< profileConflicts only
@@ -137,6 +151,11 @@ std::uint64_t specFingerprint(const RunSpec &spec);
 /** "results/pabp.ckpt" + 0xfp -> "results/pabp-<16 hex>.ckpt". */
 std::string derivedCheckpointPath(const std::string &base,
                                   std::uint64_t fingerprint);
+
+/** "<dir>/pabp-metrics-<16 hex fingerprint>.json" - where the cell
+ *  with this fingerprint exports its metrics (RunSpec::metricsDir). */
+std::string metricsFilePath(const std::string &dir,
+                            std::uint64_t fingerprint);
 
 /** Executes RunSpec grids over a worker pool. */
 class SweepRunner

@@ -10,10 +10,16 @@
 # (the --jobs flag; 0 = one worker per hardware thread). Output is
 # byte-identical at any JOBS value, so it defaults to full
 # parallelism.
+#
+# Every sweep binary also exports its per-cell metrics JSON under
+# METRICS_DIR/<binary>/ (docs/OBSERVABILITY.md); a binary that exits
+# zero but wrote no metrics file is treated as failed - a run whose
+# measurements vanished is not a successful run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=${JOBS:-0}
+METRICS_DIR=${METRICS_DIR:-results/metrics}
 
 cmake -B build -G Ninja
 cmake --build build
@@ -22,15 +28,26 @@ test "${PIPESTATUS[0]}" -eq 0
 
 {
     for b in build/bench/*; do
+        name=$(basename "$b")
         case "$b" in
             # The google-benchmark micro suite times the host and
-            # takes no --jobs flag.
+            # takes no --jobs flag (and runs no sweep cells, so it
+            # has no metrics to export).
             */bench_e11_micro) args="" ;;
-            *) args="--jobs $JOBS" ;;
+            # Per-binary subdirectories: two binaries can run
+            # identical specs, whose identical fingerprints would
+            # otherwise collide on one file.
+            *) args="--jobs $JOBS --metrics-dir $METRICS_DIR/$name" ;;
         esac
         # shellcheck disable=SC2086
         if ! "$b" $args; then
             echo "FAILED: $b"
+        elif [ -n "$args" ] && [ "$name" != bench_e11_micro ]; then
+            if ! ls "$METRICS_DIR/$name"/pabp-metrics-*.json \
+                >/dev/null 2>&1; then
+                echo "FAILED: $b (exited clean but wrote no metrics" \
+                     "files under $METRICS_DIR/$name)"
+            fi
         fi
     done
 } 2>&1 | tee bench_output.txt

@@ -8,7 +8,9 @@
 #
 # A second stage rebuilds under ThreadSanitizer (PABP_TSAN) and runs
 # the concurrency-bearing tests - the thread pool and the parallel
-# sweep runner, including the jobs-1-vs-N determinism suite - so a
+# sweep runner, including the jobs-1-vs-N determinism suite and the
+# stats/metrics-export tests (per-cell metric files are written from
+# worker threads, so the export path must be race-clean too) - so a
 # data race in the sweep layer fails CI instead of surfacing as a
 # once-in-a-thousand-runs wrong table. Set PABP_SKIP_TSAN=1 to run
 # only the ASan/UBSan stage.
@@ -26,5 +28,5 @@ if [ "${PABP_SKIP_TSAN:-0}" != "1" ]; then
     cmake -B "$TSAN_DIR" -G Ninja -DPABP_TSAN=ON
     cmake --build "$TSAN_DIR" --target pabp_tests
     ctest --test-dir "$TSAN_DIR" --output-on-failure \
-        -R 'ThreadPool|Sweep'
+        -R 'ThreadPool|Sweep|Stats|Metrics'
 fi

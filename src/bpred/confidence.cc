@@ -24,13 +24,23 @@ ConfidenceEstimator::highConfidence(std::uint32_t pc) const
 void
 ConfidenceEstimator::update(std::uint32_t pc, bool correct)
 {
+    ++updateCount;
     std::uint8_t &counter = table[index(pc)];
     if (correct) {
         if (counter < counterMax)
             ++counter;
     } else {
         counter = 0;
+        ++resetCount;
     }
+}
+
+void
+ConfidenceEstimator::registerStats(StatGroup &group,
+                                   const std::string &prefix)
+{
+    group.gauge(prefix + "updates", [this] { return updateCount; });
+    group.gauge(prefix + "low_resets", [this] { return resetCount; });
 }
 
 void
@@ -53,12 +63,16 @@ void
 ConfidenceEstimator::saveState(StateSink &sink) const
 {
     sink.writePodVector(table);
+    sink.writeU64(updateCount);
+    sink.writeU64(resetCount);
 }
 
 Status
 ConfidenceEstimator::loadState(StateSource &src)
 {
-    return src.readPodVector(table, table.size());
+    PABP_TRY(src.readPodVector(table, table.size()));
+    PABP_TRY(src.readPod(updateCount));
+    return src.readPod(resetCount);
 }
 
 } // namespace pabp

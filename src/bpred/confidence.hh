@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "util/serialize.hh"
+#include "util/stats.hh"
 #include "util/status.hh"
 
 namespace pabp {
@@ -43,6 +44,17 @@ class ConfidenceEstimator
     void reset();
     std::size_t storageBits() const;
 
+    /** @name Observability
+     * updates() counts every training event, lowResets() the subset
+     * that reset a counter to zero (an incorrect prediction). Both
+     * are checkpointed so resumed runs report identical counts.
+     * @{ */
+    std::uint64_t updates() const { return updateCount; }
+    std::uint64_t lowResets() const { return resetCount; }
+    void registerStats(StatGroup &group, const std::string &prefix);
+    void resetStats() { updateCount = 0; resetCount = 0; }
+    /** @} */
+
     void saveState(StateSink &sink) const;
     Status loadState(StateSource &src);
 
@@ -50,6 +62,8 @@ class ConfidenceEstimator
     std::vector<std::uint8_t> table;
     unsigned counterMax;
     unsigned confThreshold;
+    std::uint64_t updateCount = 0;
+    std::uint64_t resetCount = 0;
 
     std::size_t index(std::uint32_t pc) const
     {

@@ -55,6 +55,14 @@ GSharePredictor::update(std::uint32_t pc, bool taken)
 }
 
 void
+GSharePredictor::registerStats(StatGroup &group,
+                               const std::string &prefix)
+{
+    group.gauge(prefix + "lookups", [this] { return lookups; });
+    group.gauge(prefix + "conflicts", [this] { return conflicts; });
+}
+
+void
 GSharePredictor::injectHistoryBit(bool bit)
 {
     ghr = (ghr << 1) | (bit ? 1 : 0);
@@ -131,17 +139,41 @@ GAgPredictor::storageBits() const
 void
 GSharePredictor::saveState(StateSink &sink) const
 {
-    // Conflict-profiling state (bench E16) is diagnostic, not
-    // architectural, and is deliberately not checkpointed.
     sink.writeCounters(table);
     sink.writeU64(ghr);
+    // Conflict-profiling state (bench E16) is diagnostic, not
+    // architectural, but it IS checkpointed: a resumed profiling run
+    // must report the same lookup/conflict counts as an
+    // uninterrupted one. (It used to be skipped, which silently
+    // zeroed the counters - and the last-touched-PC table - across
+    // every resume.)
+    sink.writeBool(profiling);
+    if (profiling) {
+        sink.writeU64(lookups);
+        sink.writeU64(conflicts);
+        sink.writePodVector(lastPc);
+        sink.writeBoolVector(lastPcValid);
+    }
 }
 
 Status
 GSharePredictor::loadState(StateSource &src)
 {
     PABP_TRY(src.readCounters(table));
-    return src.readPod(ghr);
+    PABP_TRY(src.readPod(ghr));
+    bool stored_profiling = false;
+    PABP_TRY(src.readBool(stored_profiling));
+    if (stored_profiling != profiling)
+        return Status(StatusCode::InvalidArgument,
+                      "checkpoint conflict-profiling mode does not "
+                      "match the configured predictor");
+    if (profiling) {
+        PABP_TRY(src.readPod(lookups));
+        PABP_TRY(src.readPod(conflicts));
+        PABP_TRY(src.readPodVector(lastPc, table.size()));
+        PABP_TRY(src.readBoolVector(lastPcValid, table.size()));
+    }
+    return Status();
 }
 
 void

@@ -57,6 +57,10 @@ class GSharePredictor : public BranchPredictor
     std::uint64_t conflictCount() const { return conflicts; }
     /** @} */
 
+    void registerStats(StatGroup &group,
+                       const std::string &prefix) override;
+    void resetStats() override { lookups = 0; conflicts = 0; }
+
   private:
     std::vector<SatCounter> table;
     unsigned entriesLog2;

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "util/serialize.hh"
+#include "util/stats.hh"
 #include "util/status.hh"
 
 namespace pabp {
@@ -31,6 +32,24 @@ class BranchPredictor
 {
   public:
     virtual ~BranchPredictor() = default;
+
+    /**
+     * @name Statistics registry
+     * Predictors with observable counters (e.g. gshare's aliasing
+     * profiler) register them into @p group under @p prefix as
+     * callback gauges; resetStats() zeroes those counters without
+     * touching predictive state (tables, histories). The defaults
+     * are for predictors with nothing to report.
+     * @{
+     */
+    virtual void
+    registerStats(StatGroup &group, const std::string &prefix)
+    {
+        (void)group;
+        (void)prefix;
+    }
+    virtual void resetStats() {}
+    /** @} */
 
     /** Predicted direction for the branch at @p pc. */
     virtual bool predict(std::uint32_t pc) = 0;

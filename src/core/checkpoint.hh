@@ -10,7 +10,7 @@
  * InvalidArgument when they do not.
  *
  * On-disk layout (little-endian):
- *   | magic "PABPCKP1" | u32 version = 1
+ *   | magic "PABPCKP1" | u32 version = 2
  *   | u8 section mask (1 = emulator, 2 = engine, 4 = stream position)
  *   | section payloads in mask order
  *   | u32 crc   - CRC-32 of mask + payloads

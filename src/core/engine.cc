@@ -10,7 +10,7 @@ PredictionEngine::PredictionEngine(BranchPredictor &base,
                                    EngineConfig config)
     : pred(base), cfg(config), predFile(config.availDelay),
       sfpf(predFile), pgu(base, config.pgu), pvp(config.pvpEntriesLog2),
-      jrs(config.jrsEntriesLog2)
+      jrs(config.jrsEntriesLog2), profile(config.branchProfileCapacity)
 {
 }
 
@@ -20,6 +20,20 @@ PredictionEngine::processConditionalBranch(const DynInst &dyn)
     const Inst &inst = *dyn.inst;
     BranchClassStats &cls =
         inst.regionBranch ? engineStats.region : engineStats.normal;
+    BranchProfile::Counters &prof = profile.at(dyn.pc);
+
+    ++prof.lookups;
+    // Predicate occupancy at fetch: only the SFPF's delayed file
+    // models fetch-visible predicate values; without it armed, every
+    // guard is unknown to the front end.
+    if (cfg.useSfpf && predFile.read(inst.qp).has_value())
+        ++prof.guardKnown;
+    else
+        ++prof.guardUnknown;
+    // A PGU bit injected within the history window shaped this
+    // prediction's index/weights - attribute it.
+    if (cfg.usePgu && shiftsSincePguBit < pguInfluenceWindow)
+        ++prof.pguInfluenced;
 
     bool squash = cfg.useSfpf && sfpf.shouldSquash(inst);
 
@@ -46,6 +60,7 @@ PredictionEngine::processConditionalBranch(const DynInst &dyn)
     if (spec_squash) {
         predicted = false;
         ++engineStats.specSquashed;
+        ++prof.specSquashes;
         if (dyn.taken)
             ++engineStats.specSquashedWrong;
     } else if (squash) {
@@ -53,6 +68,7 @@ PredictionEngine::processConditionalBranch(const DynInst &dyn)
         sfpf.noteSquash();
         ++engineStats.all.squashed;
         ++cls.squashed;
+        ++prof.sfpfSquashes;
         // The filter only fires on resolved-false guards, and a
         // guarded branch with a false guard is architecturally
         // not-taken: squashed predictions are always correct.
@@ -60,10 +76,12 @@ PredictionEngine::processConditionalBranch(const DynInst &dyn)
         if (cfg.trainOnSquashed) {
             (void)pred.predict(dyn.pc);
             pred.update(dyn.pc, dyn.taken);
+            noteHistoryShift();
         }
     } else {
         predicted = pred.predict(dyn.pc);
         pred.update(dyn.pc, dyn.taken);
+        noteHistoryShift();
     }
 
     ++engineStats.all.branches;
@@ -71,6 +89,7 @@ PredictionEngine::processConditionalBranch(const DynInst &dyn)
     if (dyn.taken) {
         ++engineStats.all.taken;
         ++cls.taken;
+        ++prof.taken;
     }
     if (!dyn.guard) {
         ++engineStats.all.falseGuard;
@@ -79,6 +98,7 @@ PredictionEngine::processConditionalBranch(const DynInst &dyn)
     if (predicted != dyn.taken) {
         ++engineStats.all.mispredicts;
         ++cls.mispredicts;
+        ++prof.mispredicts;
     }
 
     ProcessResult result;
@@ -94,8 +114,8 @@ PredictionEngine::process(const DynInst &dyn)
     ++engineStats.insts;
     if (cfg.useSfpf)
         predFile.advanceTo(dyn.seq);
-    if (cfg.usePgu)
-        pgu.drainTo(dyn.seq);
+    if (cfg.usePgu && pgu.drainTo(dyn.seq) > 0)
+        shiftsSincePguBit = 0;
 
     ProcessResult result;
     const Inst &inst = *dyn.inst;
@@ -135,10 +155,62 @@ PredictionEngine::process(const DynInst &dyn)
 }
 
 void
+PredictionEngine::registerStats(StatGroup &group)
+{
+    auto engineGauge = [&](const char *name, const std::uint64_t &field) {
+        group.gauge(std::string("engine.") + name,
+                    [p = &field] { return *p; });
+    };
+    engineGauge("insts", engineStats.insts);
+    engineGauge("uncond_branches", engineStats.uncondBranches);
+    engineGauge("predicate_defines", engineStats.predicateDefines);
+    struct ClassEntry
+    {
+        const char *name;
+        const BranchClassStats *cls;
+    };
+    for (auto [name, cls] :
+         {ClassEntry{"all", &engineStats.all},
+          ClassEntry{"region", &engineStats.region},
+          ClassEntry{"normal", &engineStats.normal}}) {
+        std::string base = std::string("engine.") + name + ".";
+        group.gauge(base + "branches",
+                    [cls] { return cls->branches; });
+        group.gauge(base + "taken", [cls] { return cls->taken; });
+        group.gauge(base + "mispredicts",
+                    [cls] { return cls->mispredicts; });
+        group.gauge(base + "squashed",
+                    [cls] { return cls->squashed; });
+        group.gauge(base + "false_guard",
+                    [cls] { return cls->falseGuard; });
+    }
+    engineGauge("spec_squashed", engineStats.specSquashed);
+    engineGauge("spec_squashed_wrong", engineStats.specSquashedWrong);
+
+    sfpf.registerStats(group, "sfpf.");
+    pgu.registerStats(group, "pgu.");
+    pvp.registerStats(group, "pvp.");
+    jrs.registerStats(group, "jrs.");
+    pred.registerStats(group, "pred.");
+
+    group.onReset([this] { resetStats(); });
+}
+
+void
 PredictionEngine::resetStats()
 {
     engineStats = EngineStats{};
     sfpf.resetStats();
+    // Components added after the original engine kept their own
+    // counters; forgetting them here made a reused engine leak the
+    // previous cell's counts into the next (the pgu.inserted
+    // double-count bug).
+    pgu.resetStats();
+    pvp.resetStats();
+    jrs.resetStats();
+    pred.resetStats();
+    profile.reset();
+    shiftsSincePguBit = pguInfluenceWindow;
 }
 
 namespace {
@@ -183,15 +255,18 @@ PredictionEngine::saveState(StateSink &sink) const
     sink.writeU8(static_cast<std::uint8_t>(cfg.pgu.value));
     sink.writeBool(cfg.pgu.includePSet);
     sink.writeU32(cfg.pgu.delay);
+    sink.writeU32(cfg.branchProfileCapacity);
 
     forEachStatsField(engineStats,
                       [&](const std::uint64_t &v) { sink.writeU64(v); });
+    sink.writeU64(shiftsSincePguBit);
 
     predFile.saveState(sink);
     sfpf.saveState(sink);
     pgu.saveState(sink);
     pvp.saveState(sink);
     jrs.saveState(sink);
+    profile.saveState(sink);
 
     sink.writeString(pred.name());
     pred.saveState(sink);
@@ -203,6 +278,7 @@ PredictionEngine::loadState(StateSource &src)
     bool use_sfpf, use_pgu, train_on_squashed, conservative, spec;
     bool pgu_pset;
     std::uint32_t avail_delay, pvp_log2, jrs_log2, pgu_delay;
+    std::uint32_t profile_cap;
     std::uint8_t spec_gate, pgu_source, pgu_value;
     PABP_TRY(src.readBool(use_sfpf));
     PABP_TRY(src.readBool(use_pgu));
@@ -217,6 +293,7 @@ PredictionEngine::loadState(StateSource &src)
     PABP_TRY(src.readPod(pgu_value));
     PABP_TRY(src.readBool(pgu_pset));
     PABP_TRY(src.readPod(pgu_delay));
+    PABP_TRY(src.readPod(profile_cap));
     bool config_matches = use_sfpf == cfg.useSfpf &&
         use_pgu == cfg.usePgu && avail_delay == cfg.availDelay &&
         train_on_squashed == cfg.trainOnSquashed &&
@@ -227,7 +304,8 @@ PredictionEngine::loadState(StateSource &src)
         jrs_log2 == cfg.jrsEntriesLog2 &&
         pgu_source == static_cast<std::uint8_t>(cfg.pgu.source) &&
         pgu_value == static_cast<std::uint8_t>(cfg.pgu.value) &&
-        pgu_pset == cfg.pgu.includePSet && pgu_delay == cfg.pgu.delay;
+        pgu_pset == cfg.pgu.includePSet && pgu_delay == cfg.pgu.delay &&
+        profile_cap == cfg.branchProfileCapacity;
     if (!config_matches)
         return Status(StatusCode::InvalidArgument,
                       "checkpoint was taken with a different engine "
@@ -239,12 +317,14 @@ PredictionEngine::loadState(StateSource &src)
             stats_status = src.readPod(v);
     });
     PABP_TRY(std::move(stats_status));
+    PABP_TRY(src.readPod(shiftsSincePguBit));
 
     PABP_TRY(predFile.loadState(src));
     PABP_TRY(sfpf.loadState(src));
     PABP_TRY(pgu.loadState(src));
     PABP_TRY(pvp.loadState(src));
     PABP_TRY(jrs.loadState(src));
+    PABP_TRY(profile.loadState(src));
 
     std::string pred_name;
     PABP_TRY(src.readString(pred_name));

@@ -14,12 +14,14 @@
 
 #include "bpred/confidence.hh"
 #include "bpred/predictor.hh"
+#include "core/branch_profile.hh"
 #include "core/delayed_pred_file.hh"
 #include "core/pgu.hh"
 #include "core/pred_value_pred.hh"
 #include "core/sfpf.hh"
 #include "sim/emulator.hh"
 #include "sim/trace_io.hh"
+#include "util/stats.hh"
 
 namespace pabp {
 
@@ -50,6 +52,12 @@ struct EngineConfig
     enum class SpecGate : std::uint8_t { Saturation, Jrs };
     SpecGate specGate = SpecGate::Saturation;
     unsigned jrsEntriesLog2 = 10;
+    /** Max static branches attributed individually in the per-PC
+     *  profile (core/branch_profile.hh); overflow goes to the
+     *  explicit evicted bucket. 0 disables per-PC tracking. Purely
+     *  observational: prediction behaviour is identical at any
+     *  value. */
+    unsigned branchProfileCapacity = 1024;
 };
 
 /** Per-branch-class counters. */
@@ -124,7 +132,32 @@ class PredictionEngine
     const EngineStats &stats() const { return engineStats; }
     std::uint64_t pguBitsInserted() const { return pgu.bitsInserted(); }
 
-    /** Zero the counters; predictor and history state persist. */
+    /** Per-static-branch attribution (lookups, mispredicts, SFPF
+     *  squashes, PGU influence, guard occupancy). */
+    const BranchProfile &branchProfile() const { return profile; }
+
+    /**
+     * A prediction counts as PGU-influenced when a predicate bit was
+     * injected into the global history within this many history
+     * shifts before it - i.e. the bit is still inside any
+     * practically-sized history register.
+     */
+    static constexpr std::uint64_t pguInfluenceWindow = 64;
+
+    /**
+     * Register every engine counter - and those of all owned
+     * components plus the base predictor - into @p group under
+     * stable dotted names ("engine.all.branches", "sfpf.squashes",
+     * "pgu.bits_inserted", ...). Also installs a reset hook so
+     * group.reset() and resetStats() stay symmetric. @p group must
+     * not outlive this engine.
+     */
+    void registerStats(StatGroup &group);
+
+    /** Zero the counters of the engine AND every registered
+     *  component (SFPF, PGU, value predictor, confidence estimator,
+     *  base predictor diagnostics, per-branch profile); predictor
+     *  and history state persist. */
     void resetStats();
 
     /**
@@ -149,8 +182,21 @@ class PredictionEngine
     PredicateValuePredictor pvp;
     ConfidenceEstimator jrs;
     EngineStats engineStats;
+    BranchProfile profile;
+    /** History shifts since the last PGU-injected bit, clamped to
+     *  pguInfluenceWindow ("no recent bit"). Checkpointed. */
+    std::uint64_t shiftsSincePguBit = pguInfluenceWindow;
 
     ProcessResult processConditionalBranch(const DynInst &dyn);
+
+    /** The base predictor's history shifted once (a branch-outcome
+     *  update); age the PGU-influence window, saturating. */
+    void
+    noteHistoryShift()
+    {
+        if (shiftsSincePguBit < pguInfluenceWindow)
+            ++shiftsSincePguBit;
+    }
 };
 
 /**

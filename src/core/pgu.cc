@@ -33,14 +33,17 @@ PredicateGlobalUpdate::observe(const DynInst &dyn)
     }
 }
 
-void
+unsigned
 PredicateGlobalUpdate::drainTo(std::uint64_t seq)
 {
+    unsigned drained = 0;
     while (!queue.empty() && queue.front().seq + cfg.delay <= seq) {
         pred.injectHistoryBit(queue.front().bit);
         ++inserted;
+        ++drained;
         queue.pop_front();
     }
+    return drained;
 }
 
 void

@@ -25,6 +25,7 @@
 #include "isa/inst.hh"
 #include "sim/emulator.hh"
 #include "util/serialize.hh"
+#include "util/stats.hh"
 #include "util/status.hh"
 
 namespace pabp {
@@ -72,12 +73,30 @@ class PredicateGlobalUpdate
     void observe(const DynInst &dyn);
 
     /** Inject all bits that have resolved by @p seq. Call before the
-     *  prediction of the branch at @p seq. */
-    void drainTo(std::uint64_t seq);
+     *  prediction of the branch at @p seq. Returns how many bits
+     *  were injected (the engine uses this to attribute
+     *  PGU-influenced predictions per branch). */
+    unsigned drainTo(std::uint64_t seq);
 
     std::uint64_t bitsInserted() const { return inserted; }
+    std::uint64_t pendingBits() const { return queue.size(); }
     const PguConfig &config() const { return cfg; }
     void reset();
+
+    /** Zero the insertion counter; the pending queue (state, not a
+     *  statistic) survives. Engine resetStats() delegates here - it
+     *  used to forget to, so a reused engine carried the previous
+     *  cell's bit count into the next one. */
+    void resetStats() { inserted = 0; }
+
+    void
+    registerStats(StatGroup &group, const std::string &prefix)
+    {
+        group.gauge(prefix + "bits_inserted",
+                    [this] { return inserted; });
+        group.gauge(prefix + "pending_bits",
+                    [this] { return queue.size(); });
+    }
 
     /** Pending-bit queue and insertion count; the base predictor's
      *  own state is checkpointed by its owner. */

@@ -19,7 +19,15 @@ PredicateValuePredictor::predictGuard(std::uint32_t pc) const
 void
 PredicateValuePredictor::train(std::uint32_t pc, bool guard)
 {
+    ++trainCount;
     table[index(pc)].update(guard);
+}
+
+void
+PredicateValuePredictor::registerStats(StatGroup &group,
+                                       const std::string &prefix)
+{
+    group.gauge(prefix + "trains", [this] { return trainCount; });
 }
 
 bool

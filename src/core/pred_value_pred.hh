@@ -19,6 +19,7 @@
 
 #include "util/sat_counter.hh"
 #include "util/serialize.hh"
+#include "util/stats.hh"
 #include "util/status.hh"
 
 namespace pabp {
@@ -41,11 +42,31 @@ class PredicateValuePredictor
     void reset();
     std::size_t storageBits() const { return table.size() * 2; }
 
-    void saveState(StateSink &sink) const { sink.writeCounters(table); }
-    Status loadState(StateSource &src) { return src.readCounters(table); }
+    /** @name Observability
+     * trains() counts training events (one per guarded branch seen
+     * with the extension armed); checkpointed alongside the table.
+     * @{ */
+    std::uint64_t trains() const { return trainCount; }
+    void registerStats(StatGroup &group, const std::string &prefix);
+    void resetStats() { trainCount = 0; }
+    /** @} */
+
+    void
+    saveState(StateSink &sink) const
+    {
+        sink.writeCounters(table);
+        sink.writeU64(trainCount);
+    }
+    Status
+    loadState(StateSource &src)
+    {
+        PABP_TRY(src.readCounters(table));
+        return src.readPod(trainCount);
+    }
 
   private:
     std::vector<SatCounter> table;
+    std::uint64_t trainCount = 0;
 
     std::size_t index(std::uint32_t pc) const
     {

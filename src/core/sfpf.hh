@@ -18,6 +18,7 @@
 #include "core/delayed_pred_file.hh"
 #include "isa/inst.hh"
 #include "util/serialize.hh"
+#include "util/stats.hh"
 #include "util/status.hh"
 
 namespace pabp {
@@ -47,6 +48,12 @@ class SquashFalsePathFilter
     std::uint64_t squashes() const { return squashCount; }
     void noteSquash() { ++squashCount; }
     void resetStats() { squashCount = 0; }
+
+    void
+    registerStats(StatGroup &group, const std::string &prefix)
+    {
+        group.gauge(prefix + "squashes", [this] { return squashCount; });
+    }
 
     void saveState(StateSink &sink) const { sink.writeU64(squashCount); }
     Status loadState(StateSource &src) { return src.readPod(squashCount); }

@@ -13,6 +13,8 @@ Histogram::Histogram(std::size_t num_buckets, std::uint64_t bucket_width)
 void
 Histogram::sample(std::uint64_t value)
 {
+    // value == i*width belongs to bucket i (lower boundary closed);
+    // the first value past the last bucket goes to overflow.
     std::size_t idx = static_cast<std::size_t>(value / width);
     if (idx < buckets.size())
         ++buckets[idx];
@@ -52,14 +54,39 @@ Histogram::print(std::ostream &os, const std::string &name) const
 Scalar &
 StatGroup::scalar(const std::string &name)
 {
+    pabp_assert(gauges.find(name) == gauges.end());
     return scalars[name];
+}
+
+void
+StatGroup::gauge(const std::string &name, Gauge fn)
+{
+    pabp_assert(fn && scalars.find(name) == scalars.end());
+    gauges[name] = std::move(fn);
+}
+
+void
+StatGroup::onReset(std::function<void()> hook)
+{
+    pabp_assert(hook);
+    resetHooks.push_back(std::move(hook));
 }
 
 std::uint64_t
 StatGroup::value(const std::string &name) const
 {
     auto it = scalars.find(name);
-    return it == scalars.end() ? 0 : it->second.value();
+    if (it != scalars.end())
+        return it->second.value();
+    auto git = gauges.find(name);
+    return git == gauges.end() ? 0 : git->second();
+}
+
+bool
+StatGroup::has(const std::string &name) const
+{
+    return scalars.find(name) != scalars.end() ||
+        gauges.find(name) != gauges.end();
 }
 
 double
@@ -68,11 +95,22 @@ StatGroup::ratio(std::uint64_t a, std::uint64_t b)
     return b ? static_cast<double>(a) / static_cast<double>(b) : 0.0;
 }
 
+std::map<std::string, std::uint64_t>
+StatGroup::snapshot() const
+{
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &[name, stat] : scalars)
+        out.emplace(name, stat.value());
+    for (const auto &[name, fn] : gauges)
+        out.emplace(name, fn());
+    return out;
+}
+
 void
 StatGroup::print(std::ostream &os) const
 {
-    for (const auto &[name, stat] : scalars)
-        os << name << " " << stat.value() << "\n";
+    for (const auto &[name, v] : snapshot())
+        os << name << " " << v << "\n";
 }
 
 void
@@ -80,6 +118,8 @@ StatGroup::reset()
 {
     for (auto &[name, stat] : scalars)
         stat.reset();
+    for (const auto &hook : resetHooks)
+        hook();
 }
 
 } // namespace pabp

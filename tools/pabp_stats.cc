@@ -1,0 +1,114 @@
+/**
+ * @file
+ * pabp-stats: diff two exported metrics documents.
+ *
+ *   pabp-stats [--top N] <a.json> <b.json>
+ *
+ * Loads two files written by the bench binaries' --metrics-dir export
+ * (schema "pabp.metrics", docs/OBSERVABILITY.md), validates them, and
+ * prints every differing metric and per-branch table row. Exit
+ * status: 0 = identical, 1 = differences found, 2 = usage or input
+ * error - so scripts can use it both as a comparator and as a gate.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "util/metrics.hh"
+
+namespace {
+
+using namespace pabp;
+
+int
+usage()
+{
+    std::cerr << "usage: pabp-stats [--top N] <a.json> <b.json>\n"
+              << "  Diffs two pabp.metrics documents; --top bounds\n"
+              << "  the per-table rows printed (0 = all).\n";
+    return 2;
+}
+
+/** Read, parse and schema-check one metrics file. */
+bool
+loadMetrics(const std::string &path, JsonValue &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::cerr << "pabp-stats: cannot open " << path << "\n";
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    Expected<JsonValue> parsed = parseJson(text.str());
+    if (!parsed.ok()) {
+        std::cerr << "pabp-stats: " << path << ": "
+                  << parsed.status().toString() << "\n";
+        return false;
+    }
+    out = std::move(parsed.value());
+    const JsonValue *schema = out.find("schema");
+    if (!schema || schema->kind != JsonValue::Kind::String ||
+        schema->text != kMetricsSchemaName) {
+        std::cerr << "pabp-stats: " << path
+                  << ": not a pabp.metrics document\n";
+        return false;
+    }
+    const JsonValue *version = out.find("version");
+    if (!version || !version->isInt ||
+        version->intValue > kMetricsSchemaVersion) {
+        std::cerr << "pabp-stats: " << path
+                  << ": unsupported schema version\n";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t top_k = 0;
+    std::string paths[2];
+    int npaths = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--top") {
+            if (i + 1 >= argc)
+                return usage();
+            char *end = nullptr;
+            unsigned long long v = std::strtoull(argv[++i], &end, 10);
+            if (!end || *end != '\0')
+                return usage();
+            top_k = static_cast<std::size_t>(v);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else if (npaths < 2) {
+            paths[npaths++] = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (npaths != 2)
+        return usage();
+
+    JsonValue a, b;
+    if (!loadMetrics(paths[0], a) || !loadMetrics(paths[1], b))
+        return 2;
+
+    std::size_t diffs = diffMetrics(a, b, std::cout, top_k);
+    if (diffs == 0) {
+        std::cout << "identical (" << paths[0] << " == " << paths[1]
+                  << ")\n";
+        return 0;
+    }
+    std::cout << diffs << " difference(s)\n";
+    return 1;
+}
