@@ -42,5 +42,7 @@ pabp_bench(bench_e17_selective)
 pabp_bench(bench_e18_cross_input)
 pabp_bench(bench_e19_pgu_bases)
 
+pabp_bench(bench_replay_hot)
+
 pabp_bench(bench_e11_micro)
 target_link_libraries(bench_e11_micro PRIVATE benchmark::benchmark)

@@ -47,10 +47,26 @@ standardOptions()
     opts.declare("metrics-dir", "",
                  "export per-cell metrics JSON into this directory "
                  "(pabp-metrics-<fingerprint>.json; empty = off)");
+    opts.declare("fast-replay", "1",
+                 "Trace cells replay a shared pre-decoded trace "
+                 "through the batched engine loop (docs/PERF.md); "
+                 "results are identical, only faster");
+    opts.declare("no-fast-replay", "0",
+                 "force the reference per-instruction loop "
+                 "(overrides --fast-replay)");
     return opts;
 }
 
-/** Copy the standard checkpoint + metrics options into a run spec. */
+/** Effective --fast-replay value: the parser has no native --no-X
+ *  negation, so the off switch is its own declared flag. */
+inline bool
+fastReplayFromOptions(const Options &opts)
+{
+    return opts.flag("fast-replay") && !opts.flag("no-fast-replay");
+}
+
+/** Copy the standard checkpoint + metrics + replay-strategy options
+ *  into a run spec. */
 inline void
 applyCheckpointOptions(RunSpec &spec, const Options &opts)
 {
@@ -59,16 +75,21 @@ applyCheckpointOptions(RunSpec &spec, const Options &opts)
     spec.checkpointPath = opts.str("checkpoint-file");
     spec.resumePath = opts.str("resume");
     spec.metricsDir = opts.str("metrics-dir");
+    spec.fastReplay = fastReplayFromOptions(opts);
 }
 
-/** Fill RunSpec::metricsDir on a whole grid from --metrics-dir, for
- *  binaries that do not route specs through applyCheckpointOptions. */
+/** Fill RunSpec::metricsDir and the replay strategy on a whole grid,
+ *  for binaries that do not route specs through
+ *  applyCheckpointOptions. */
 inline void
 applyMetricsOptions(std::vector<RunSpec> &specs, const Options &opts)
 {
     const std::string dir = opts.str("metrics-dir");
-    for (RunSpec &spec : specs)
+    const bool fast = fastReplayFromOptions(opts);
+    for (RunSpec &spec : specs) {
         spec.metricsDir = dir;
+        spec.fastReplay = fast;
+    }
 }
 
 /** Build the runner config from the standard --jobs option. */

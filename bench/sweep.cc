@@ -97,6 +97,18 @@ hashEngineConfig(Fnv &fnv, const EngineConfig &e)
     fnv.u32(e.jrsEntriesLog2);
 }
 
+/** Compiled-program cache key: everything that determines the
+ *  program bytes (workload id, compile seed, compile options). */
+std::string
+programCacheKey(const RunSpec &spec)
+{
+    Fnv copt_hash;
+    hashCompileOptions(copt_hash, spec.compile, spec.ifConvert);
+    return spec.workload + ":" +
+        std::to_string(resolvedCompileSeed(spec)) + ":" +
+        std::to_string(copt_hash.value());
+}
+
 /** Build the spec's workload for the given input seed. */
 Expected<Workload>
 materialiseWorkload(const RunSpec &spec, std::uint64_t seed)
@@ -251,11 +263,7 @@ SweepRunner::SweepRunner(Config config)
 Expected<SweepRunner::ProgramHandle>
 SweepRunner::compiledFor(const RunSpec &spec)
 {
-    Fnv copt_hash;
-    hashCompileOptions(copt_hash, spec.compile, spec.ifConvert);
-    std::string key = spec.workload + ":" +
-        std::to_string(resolvedCompileSeed(spec)) + ":" +
-        std::to_string(copt_hash.value());
+    std::string key = programCacheKey(spec);
 
     std::promise<ProgramHandle> promise;
     std::shared_future<ProgramHandle> future;
@@ -290,6 +298,62 @@ SweepRunner::compiledFor(const RunSpec &spec)
     copts.ifConvert = spec.ifConvert;
     ProgramHandle handle = std::make_shared<const CompiledProgram>(
         compileWorkload(wl.value(), copts));
+    promise.set_value(handle);
+    return handle;
+}
+
+Expected<SweepRunner::TraceHandle>
+SweepRunner::decodedFor(const RunSpec &spec,
+                        const ProgramHandle &program)
+{
+    // Recording is deterministic in (program, measurement seed,
+    // budget): the same key always yields the same events, so the
+    // decoded trace can be shared read-only like the program itself.
+    std::string key = programCacheKey(spec) + ":" +
+        std::to_string(spec.seed) + ":" +
+        std::to_string(spec.maxInsts) + ":decoded";
+
+    std::promise<TraceHandle> promise;
+    std::shared_future<TraceHandle> future;
+    bool record_here = false;
+    {
+        std::lock_guard<std::mutex> lock(cacheMtx);
+        auto it = traceCache.find(key);
+        if (it == traceCache.end()) {
+            future = promise.get_future().share();
+            traceCache.emplace(key, future);
+            record_here = true;
+            ++stats.records;
+        } else {
+            future = it->second;
+            ++stats.traceHits;
+        }
+    }
+    if (!record_here) {
+        TraceHandle handle = future.get();
+        if (!handle) {
+            // The recording peer hit a workload error; re-derive it
+            // from this spec's own view.
+            Expected<Workload> wl = materialiseWorkload(spec, spec.seed);
+            return wl.ok() ? Status(StatusCode::NotFound,
+                                    "trace recording failed for " +
+                                        spec.workload)
+                           : wl.status();
+        }
+        return handle;
+    }
+
+    Expected<Workload> wl = materialiseWorkload(spec, spec.seed);
+    if (!wl.ok()) {
+        promise.set_value(nullptr);
+        return wl.status();
+    }
+    Emulator emu(program->prog);
+    if (wl.value().init)
+        wl.value().init(emu.state());
+    RecordedTrace recorded = recordTrace(emu, spec.maxInsts);
+    TraceHandle handle = std::make_shared<const DecodedTrace>(
+        DecodedTrace::build(recorded));
     promise.set_value(handle);
     return handle;
 }
@@ -400,6 +464,34 @@ SweepRunner::executeSpec(const RunSpec &spec)
         result.engine = engine.stats();
         result.pguBits = engine.pguBitsInserted();
         result.profile = engine.branchProfile();
+        if (!spec.metricsDir.empty())
+            result.status = writeCellMetrics(spec, result, &engine);
+        return result;
+    }
+
+    // Trace mode, fast path (docs/PERF.md): replay the shared
+    // pre-decoded trace through the batched engine loop. Results are
+    // bit-identical to the reference loop below - the equivalence
+    // tests pin stats, profile and metrics bytes - so only cells
+    // that must serialise emulator state mid-run (checkpointing or
+    // resuming) are excluded.
+    if (spec.fastReplay && spec.checkpointEvery == 0 &&
+        spec.resumePath.empty()) {
+        Expected<TraceHandle> decoded =
+            decodedFor(spec, program.value());
+        if (!decoded.ok()) {
+            result.status = decoded.status();
+            return result;
+        }
+        PredictionEngine engine(*owned, spec.engine);
+        engine.processBatch(*decoded.value(), 0, spec.maxInsts);
+        result.engine = engine.stats();
+        result.pguBits = engine.pguBitsInserted();
+        result.profile = engine.branchProfile();
+        if (gshare) {
+            result.lookups = gshare->lookupCount();
+            result.conflicts = gshare->conflictCount();
+        }
         if (!spec.metricsDir.empty())
             result.status = writeCellMetrics(spec, result, &engine);
         return result;

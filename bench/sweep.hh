@@ -107,6 +107,20 @@ struct RunSpec
     bool profileConflicts = false;
 
     /**
+     * Trace-mode execution strategy (docs/PERF.md): when true the
+     * cell replays a shared pre-decoded trace through the batched
+     * engine loop (PredictionEngine::processBatch) instead of
+     * stepping its own emulator per instruction. Results - stats,
+     * profile, exported metrics bytes - are identical either way
+     * (pinned by tests/test_replay_fast.cc); only throughput
+     * changes, so like the checkpoint/metrics knobs this is NOT part
+     * of specFingerprint(). Checkpointing or resuming cells ignore
+     * it and keep the reference emulator loop: mid-run checkpoints
+     * serialise emulator state the decoded trace does not carry.
+     */
+    bool fastReplay = true;
+
+    /**
      * When non-empty, every Trace/Timed cell exports its full metric
      * set (util/metrics.hh) to
      * "<metricsDir>/pabp-metrics-<16 hex fingerprint>.json" after the
@@ -174,6 +188,8 @@ class SweepRunner
     {
         std::uint64_t compiles = 0; ///< distinct programs built
         std::uint64_t hits = 0;     ///< runs served a cached program
+        std::uint64_t records = 0;  ///< distinct traces decoded
+        std::uint64_t traceHits = 0; ///< runs served a cached trace
     };
 
     SweepRunner() : SweepRunner(Config{}) {}
@@ -190,16 +206,24 @@ class SweepRunner
 
   private:
     using ProgramHandle = std::shared_ptr<const CompiledProgram>;
+    using TraceHandle = std::shared_ptr<const DecodedTrace>;
 
     RunResult executeSpec(const RunSpec &spec);
     RunResult executeSpecGuarded(const RunSpec &spec);
     Expected<ProgramHandle> compiledFor(const RunSpec &spec);
+    /** The decoded-trace analogue of compiledFor(): the first
+     *  requester of a (program, measurement seed, budget) key records
+     *  and decodes the trace, everyone else blocks on the shared
+     *  future and replays the same immutable lanes. */
+    Expected<TraceHandle> decodedFor(const RunSpec &spec,
+                                     const ProgramHandle &program);
 
     unsigned jobs;
     std::size_t queueCapacity;
 
     mutable std::mutex cacheMtx;
     std::map<std::string, std::shared_future<ProgramHandle>> cache;
+    std::map<std::string, std::shared_future<TraceHandle>> traceCache;
     CacheStats stats;
 };
 

@@ -34,6 +34,10 @@ test "${PIPESTATUS[0]}" -eq 0
             # takes no --jobs flag (and runs no sweep cells, so it
             # has no metrics to export).
             */bench_e11_micro) args="" ;;
+            # The replay-loop throughput bench also times the host
+            # and exports no per-cell metrics; it runs in the
+            # dedicated perf-smoke stage below instead.
+            */bench_replay_hot) continue ;;
             # Per-binary subdirectories: two binaries can run
             # identical specs, whose identical fingerprints would
             # otherwise collide on one file.
@@ -51,8 +55,56 @@ test "${PIPESTATUS[0]}" -eq 0
         fi
     done
 } 2>&1 | tee bench_output.txt
-# The loop ran in the pipeline's subshell, so its verdict must be
-# recovered from the transcript.
+
+# --- Perf smoke (docs/PERF.md) ---------------------------------------
+# Two checks on the fast replay path:
+#  1. bench_replay_hot times the reference loop against the batched
+#     loop on every suite workload and HARD-FAILS unless their stats
+#     are bit-identical; its throughput record lands in
+#     BENCH_replay.json at the repo root.
+#  2. The combined-technique grid (E6) runs once per strategy into
+#     separate metric directories. fastReplay is not fingerprinted,
+#     so each cell writes the same filename either way - and every
+#     pair of files must match BYTE FOR BYTE. Any drift is reported
+#     through tools/pabp-stats and fails the run.
+{
+    echo "== perf smoke: replay-loop throughput =="
+    build/bench/bench_replay_hot --steps 500000 \
+        --out BENCH_replay.json
+
+    echo "== perf smoke: fast-vs-reference metric bytes (E6) =="
+    fast_dir=$METRICS_DIR/perf_smoke_fast
+    ref_dir=$METRICS_DIR/perf_smoke_ref
+    rm -rf "$fast_dir" "$ref_dir"
+    build/bench/bench_e6_combined --steps 200000 --jobs "$JOBS" \
+        --metrics-dir "$fast_dir" > /dev/null
+    build/bench/bench_e6_combined --steps 200000 --jobs "$JOBS" \
+        --no-fast-replay --metrics-dir "$ref_dir" > /dev/null
+    pairs=0
+    for fast_file in "$fast_dir"/pabp-metrics-*.json; do
+        ref_file=$ref_dir/$(basename "$fast_file")
+        if [ ! -f "$ref_file" ]; then
+            echo "FAILED: perf smoke: $(basename "$fast_file") has" \
+                 "no reference twin (fingerprint drift between" \
+                 "replay strategies)"
+            continue
+        fi
+        pairs=$((pairs + 1))
+        if ! cmp -s "$fast_file" "$ref_file"; then
+            echo "FAILED: perf smoke: fast and reference metrics" \
+                 "differ: $(basename "$fast_file")"
+            build/tools/pabp-stats "$fast_file" "$ref_file" || true
+        fi
+    done
+    if [ "$pairs" -eq 0 ]; then
+        echo "FAILED: perf smoke: no metric file pairs compared"
+    else
+        echo "perf smoke: $pairs metric file pair(s) byte-identical"
+    fi
+} 2>&1 | tee -a bench_output.txt
+
+# The loops ran in the pipelines' subshells, so their verdicts must
+# be recovered from the transcript.
 if grep -q '^FAILED: ' bench_output.txt; then
     echo "error: one or more experiment binaries failed" >&2
     exit 1

@@ -31,6 +31,17 @@ CombiningPredictor::update(std::uint32_t pc, bool taken)
     secondPred->update(pc, taken);
 }
 
+bool
+CombiningPredictor::predictAndUpdate(std::uint32_t pc, bool taken)
+{
+    // Qualified calls: statically bound, bit-identical to the unfused
+    // pair. The components stay virtual - they are the tournament's
+    // pluggable halves - but the wrapper's own dispatch disappears.
+    bool predicted = CombiningPredictor::predict(pc);
+    CombiningPredictor::update(pc, taken);
+    return predicted;
+}
+
 void
 CombiningPredictor::injectHistoryBit(bool bit)
 {

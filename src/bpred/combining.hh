@@ -28,6 +28,9 @@ class CombiningPredictor : public BranchPredictor
 
     bool predict(std::uint32_t pc) override;
     void update(std::uint32_t pc, bool taken) override;
+    /** Fused fast-path call; `final` so a caller holding a
+     *  CombiningPredictor& dispatches statically (no vtable). */
+    bool predictAndUpdate(std::uint32_t pc, bool taken) final;
     void injectHistoryBit(bool bit) override;
     bool hasGlobalHistory() const override;
     void reset() override;

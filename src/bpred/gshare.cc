@@ -54,6 +54,17 @@ GSharePredictor::update(std::uint32_t pc, bool taken)
     ghr = (ghr << 1) | (taken ? 1 : 0);
 }
 
+bool
+GSharePredictor::predictAndUpdate(std::uint32_t pc, bool taken)
+{
+    // Qualified calls: the compiler statically binds both halves, so
+    // the fused call is genuinely devirtualised, and the behaviour is
+    // the unfused predict-then-update pair by construction.
+    bool predicted = GSharePredictor::predict(pc);
+    GSharePredictor::update(pc, taken);
+    return predicted;
+}
+
 void
 GSharePredictor::registerStats(StatGroup &group,
                                const std::string &prefix)

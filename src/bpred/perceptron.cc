@@ -62,6 +62,16 @@ PerceptronPredictor::update(std::uint32_t pc, bool taken)
     ghr = (ghr << 1) | (taken ? 1 : 0);
 }
 
+bool
+PerceptronPredictor::predictAndUpdate(std::uint32_t pc, bool taken)
+{
+    // Qualified calls: statically bound, bit-identical to the unfused
+    // predict-then-update pair.
+    bool predicted = PerceptronPredictor::predict(pc);
+    PerceptronPredictor::update(pc, taken);
+    return predicted;
+}
+
 void
 PerceptronPredictor::injectHistoryBit(bool bit)
 {

@@ -31,6 +31,9 @@ class PerceptronPredictor : public BranchPredictor
 
     bool predict(std::uint32_t pc) override;
     void update(std::uint32_t pc, bool taken) override;
+    /** Fused fast-path call; `final` so a caller holding a
+     *  PerceptronPredictor& dispatches statically (no vtable). */
+    bool predictAndUpdate(std::uint32_t pc, bool taken) final;
     void injectHistoryBit(bool bit) override;
     bool hasGlobalHistory() const override { return true; }
     void reset() override;

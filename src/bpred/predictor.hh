@@ -59,6 +59,25 @@ class BranchPredictor
     virtual void update(std::uint32_t pc, bool taken) = 0;
 
     /**
+     * Fused predict + update for the hot replay loop: exactly
+     * equivalent to predict(pc) followed by update(pc, taken),
+     * returning the prediction. The default does just that (two
+     * virtual dispatches); the predictors on the replay fast path
+     * (gshare, combining, perceptron) provide a `final` override
+     * whose internal calls are non-virtual, so a caller holding the
+     * concrete type pays no virtual dispatch at all. Overrides MUST
+     * preserve bit-identical behaviour with the unfused pair - the
+     * fast-vs-reference equivalence tests pin this.
+     */
+    virtual bool
+    predictAndUpdate(std::uint32_t pc, bool taken)
+    {
+        bool predicted = predict(pc);
+        update(pc, taken);
+        return predicted;
+    }
+
+    /**
      * Shift a non-branch bit (a predicate define outcome) into the
      * global history, if this predictor has one. The default is a
      * no-op so the PGU wrapper can be applied to any predictor.

@@ -12,52 +12,6 @@ DelayedPredicateFile::DelayedPredicateFile(unsigned delay)
 }
 
 void
-DelayedPredicateFile::write(std::uint64_t seq, unsigned reg, bool value)
-{
-    pabp_assert(reg < numPredRegs);
-    if (reg == 0)
-        return;
-    queue.push_back(
-        Pending{seq, static_cast<std::uint8_t>(reg), value, true});
-    ++inFlight[reg];
-}
-
-void
-DelayedPredicateFile::writeNoop(std::uint64_t seq, unsigned reg)
-{
-    pabp_assert(reg < numPredRegs);
-    if (reg == 0)
-        return;
-    queue.push_back(
-        Pending{seq, static_cast<std::uint8_t>(reg), false, false});
-    ++inFlight[reg];
-}
-
-void
-DelayedPredicateFile::advanceTo(std::uint64_t seq)
-{
-    while (!queue.empty() && queue.front().seq + visDelay <= seq) {
-        const Pending &p = queue.front();
-        if (p.writes)
-            visible[p.reg] = p.value;
-        pabp_assert(inFlight[p.reg] > 0);
-        --inFlight[p.reg];
-        queue.pop_front();
-    }
-}
-
-std::optional<bool>
-DelayedPredicateFile::read(unsigned reg) const
-{
-    pabp_assert(reg < numPredRegs);
-    if (reg == 0)
-        return true;
-    if (inFlight[reg] > 0)
-        return std::nullopt;
-    return visible[reg];
-}
-
-void
 DelayedPredicateFile::reset()
 {
     std::fill(visible.begin(), visible.end(), false);
@@ -73,12 +27,12 @@ DelayedPredicateFile::saveState(StateSink &sink) const
     sink.writeBoolVector(visible);
     sink.writePodVector(inFlight);
     sink.writeU64(queue.size());
-    for (const Pending &p : queue) {
+    queue.forEach([&](const Pending &p) {
         sink.writeU64(p.seq);
         sink.writeU8(p.reg);
         sink.writeBool(p.value);
         sink.writeBool(p.writes);
-    }
+    });
 }
 
 Status

@@ -18,11 +18,12 @@
 #define PABP_CORE_DELAYED_PRED_FILE_HH
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
 #include "isa/inst.hh"
+#include "util/logging.hh"
+#include "util/ring_queue.hh"
 #include "util/serialize.hh"
 #include "util/status.hh"
 
@@ -39,7 +40,16 @@ class DelayedPredicateFile
     explicit DelayedPredicateFile(unsigned delay);
 
     /** Record a predicate write by the instruction at @p seq. */
-    void write(std::uint64_t seq, unsigned reg, bool value);
+    void
+    write(std::uint64_t seq, unsigned reg, bool value)
+    {
+        pabp_assert(reg < numPredRegs);
+        if (reg == 0)
+            return;
+        queue.push_back(
+            Pending{seq, static_cast<std::uint8_t>(reg), value, true});
+        ++inFlight[reg];
+    }
 
     /**
      * Record an in-flight define that will NOT architecturally write
@@ -48,18 +58,44 @@ class DelayedPredicateFile
      * unknown until it resolves. Used by the conservative-tracking
      * ablation.
      */
-    void writeNoop(std::uint64_t seq, unsigned reg);
+    void
+    writeNoop(std::uint64_t seq, unsigned reg)
+    {
+        pabp_assert(reg < numPredRegs);
+        if (reg == 0)
+            return;
+        queue.push_back(
+            Pending{seq, static_cast<std::uint8_t>(reg), false, false});
+        ++inFlight[reg];
+    }
 
     /** Make all writes older than @p seq - delay visible. Must be
-     *  called with non-decreasing @p seq. */
-    void advanceTo(std::uint64_t seq);
+     *  called with non-decreasing @p seq. Inline (as is the whole
+     *  queue machinery): the replay loops call it once per
+     *  instruction, and a retirement happens for every pending write,
+     *  i.e. once per predicate define. */
+    void
+    advanceTo(std::uint64_t seq)
+    {
+        while (!queue.empty() && queue.front().seq + visDelay <= seq)
+            retireFront();
+    }
 
     /**
      * Value of predicate @p reg as known at fetch after the last
      * advanceTo(). nullopt when a write is still in flight. p0 always
      * reads true.
      */
-    std::optional<bool> read(unsigned reg) const;
+    std::optional<bool>
+    read(unsigned reg) const
+    {
+        pabp_assert(reg < numPredRegs);
+        if (reg == 0)
+            return true;
+        if (inFlight[reg] > 0)
+            return std::nullopt;
+        return visible[reg];
+    }
 
     unsigned delay() const { return visDelay; }
     void reset();
@@ -76,10 +112,23 @@ class DelayedPredicateFile
         bool writes;
     };
 
+    /** Apply the front pending write and pop it (advanceTo's loop
+     *  body). */
+    void
+    retireFront()
+    {
+        const Pending &p = queue.front();
+        if (p.writes)
+            visible[p.reg] = p.value;
+        pabp_assert(inFlight[p.reg] > 0);
+        --inFlight[p.reg];
+        queue.pop_front();
+    }
+
     unsigned visDelay;
     std::vector<bool> visible;
     std::vector<unsigned> inFlight;
-    std::deque<Pending> queue;
+    RingQueue<Pending> queue;
 };
 
 } // namespace pabp

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "bpred/combining.hh"
+#include "bpred/gshare.hh"
+#include "bpred/perceptron.hh"
 #include "util/logging.hh"
 
 namespace pabp {
@@ -26,7 +29,9 @@ PredictionEngine::processConditionalBranch(const DynInst &dyn)
     // Predicate occupancy at fetch: only the SFPF's delayed file
     // models fetch-visible predicate values; without it armed, every
     // guard is unknown to the front end.
-    if (cfg.useSfpf && predFile.read(inst.qp).has_value())
+    const bool guard_known =
+        cfg.useSfpf && predFile.read(inst.qp).has_value();
+    if (guard_known)
         ++prof.guardKnown;
     else
         ++prof.guardUnknown;
@@ -46,14 +51,24 @@ PredictionEngine::processConditionalBranch(const DynInst &dyn)
             cfg.specGate == EngineConfig::SpecGate::Saturation
                 ? pvp.confident(dyn.pc)
                 : jrs.highConfidence(dyn.pc);
-        if (!squash && cfg.useSfpf &&
-            !predFile.read(inst.qp).has_value() && confident &&
+        if (!squash && cfg.useSfpf && !guard_known && confident &&
             !predicted_guard) {
             spec_squash = true;
         }
-        pvp.train(dyn.pc, dyn.guard);
-        if (cfg.specGate == EngineConfig::SpecGate::Jrs)
-            jrs.update(dyn.pc, predicted_guard == dyn.guard);
+        // The value predictor models guards that are UNRESOLVED at
+        // fetch - the only branches the speculative path can ever
+        // act on. A guard the delayed file already resolved carries
+        // no information about the unresolved population, so it must
+        // not train the counter (nor score the JRS gate): doing so
+        // flooded both tables with the easy, resolved cases and
+        // inflated the gate's apparent confidence. (The original
+        // code trained unconditionally here; tests/test_stats.cc
+        // pins the intended counts.)
+        if (!guard_known) {
+            pvp.train(dyn.pc, dyn.guard);
+            if (cfg.specGate == EngineConfig::SpecGate::Jrs)
+                jrs.update(dyn.pc, predicted_guard == dyn.guard);
+        }
     }
 
     bool predicted;
@@ -105,6 +120,7 @@ PredictionEngine::processConditionalBranch(const DynInst &dyn)
     result.condBranch = true;
     result.mispredicted = predicted != dyn.taken;
     result.squashed = squash;
+    result.specSquashed = spec_squash;
     return result;
 }
 
@@ -128,30 +144,304 @@ PredictionEngine::process(const DynInst &dyn)
         ++engineStats.uncondBranches;
     }
 
-    if (inst.writesPredicate()) {
-        ++engineStats.predicateDefines;
-        if (cfg.useSfpf) {
-            for (unsigned i = 0; i < dyn.numPredWrites; ++i) {
-                predFile.write(dyn.seq, dyn.predWrites[i].reg,
-                               dyn.predWrites[i].value);
-            }
-            if (cfg.conservativeDefTracking) {
-                auto written = [&](unsigned reg) {
-                    for (unsigned i = 0; i < dyn.numPredWrites; ++i)
-                        if (dyn.predWrites[i].reg == reg)
-                            return true;
-                    return false;
-                };
-                if (!written(inst.pdst1))
-                    predFile.writeNoop(dyn.seq, inst.pdst1);
-                if (inst.op == Opcode::Cmp && !written(inst.pdst2))
-                    predFile.writeNoop(dyn.seq, inst.pdst2);
-            }
-        }
-        if (cfg.usePgu)
-            pgu.observe(dyn);
-    }
+    if (inst.writesPredicate())
+        handlePredicateDefine(dyn);
     return result;
+}
+
+void
+PredictionEngine::handlePredicateDefine(const DynInst &dyn)
+{
+    const Inst &inst = *dyn.inst;
+    ++engineStats.predicateDefines;
+    if (cfg.useSfpf) {
+        for (unsigned i = 0; i < dyn.numPredWrites; ++i) {
+            predFile.write(dyn.seq, dyn.predWrites[i].reg,
+                           dyn.predWrites[i].value);
+        }
+        if (cfg.conservativeDefTracking) {
+            auto written = [&](unsigned reg) {
+                for (unsigned i = 0; i < dyn.numPredWrites; ++i)
+                    if (dyn.predWrites[i].reg == reg)
+                        return true;
+                return false;
+            };
+            if (!written(inst.pdst1))
+                predFile.writeNoop(dyn.seq, inst.pdst1);
+            if (inst.op == Opcode::Cmp && !written(inst.pdst2))
+                predFile.writeNoop(dyn.seq, inst.pdst2);
+        }
+    }
+    if (cfg.usePgu)
+        pgu.observe(dyn);
+}
+
+template <bool UseSfpf, bool UsePgu, bool UseSpec, typename Pred>
+void
+PredictionEngine::batchCondBranch(Pred &bp, std::uint32_t pc,
+                                  const Inst &inst, bool guard,
+                                  bool taken)
+{
+    // MIRROR of processConditionalBranch(): the configuration flags
+    // are template parameters and the predictor is held by its
+    // concrete type where known, but every counter and every side
+    // effect must stay in lockstep with the reference path - any
+    // semantic change there lands here too. The fast-vs-reference
+    // equivalence tests (tests/test_replay_fast.cc) pin the two
+    // bit-identical.
+    BranchClassStats &cls =
+        inst.regionBranch ? engineStats.region : engineStats.normal;
+    BranchProfile::Counters &prof = profile.at(pc);
+
+    ++prof.lookups;
+    // A decoded CondBranch is a guarded Br by construction (qp != 0),
+    // so SquashFalsePathFilter::shouldSquash() reduces to "qp reads a
+    // resolved false" - one predicate-file read serves both the
+    // guard-known attribution and the squash decision.
+    std::optional<bool> qp_val;
+    if constexpr (UseSfpf)
+        qp_val = predFile.read(inst.qp);
+    const bool guard_known = UseSfpf && qp_val.has_value();
+    if (guard_known)
+        ++prof.guardKnown;
+    else
+        ++prof.guardUnknown;
+    if (UsePgu && shiftsSincePguBit < pguInfluenceWindow)
+        ++prof.pguInfluenced;
+
+    bool squash = guard_known && !*qp_val;
+
+    bool spec_squash = false;
+    if constexpr (UseSpec) {
+        bool predicted_guard = pvp.predictGuard(pc);
+        bool confident =
+            cfg.specGate == EngineConfig::SpecGate::Saturation
+                ? pvp.confident(pc)
+                : jrs.highConfidence(pc);
+        if (!squash && UseSfpf && !guard_known && confident &&
+            !predicted_guard) {
+            spec_squash = true;
+        }
+        // Train only on fetch-unresolved guards; see the reference
+        // path for the rationale.
+        if (!guard_known) {
+            pvp.train(pc, guard);
+            if (cfg.specGate == EngineConfig::SpecGate::Jrs)
+                jrs.update(pc, predicted_guard == guard);
+        }
+    }
+
+    bool predicted;
+    if (spec_squash) {
+        predicted = false;
+        ++engineStats.specSquashed;
+        ++prof.specSquashes;
+        if (taken)
+            ++engineStats.specSquashedWrong;
+    } else if (squash) {
+        predicted = false;
+        sfpf.noteSquash();
+        ++engineStats.all.squashed;
+        ++cls.squashed;
+        ++prof.sfpfSquashes;
+        pabp_assert(!taken);
+        if (cfg.trainOnSquashed) {
+            (void)bp.predict(pc);
+            bp.update(pc, taken);
+            noteHistoryShift();
+        }
+    } else {
+        predicted = bp.predictAndUpdate(pc, taken);
+        noteHistoryShift();
+    }
+
+    ++engineStats.all.branches;
+    ++cls.branches;
+    if (taken) {
+        ++engineStats.all.taken;
+        ++cls.taken;
+        ++prof.taken;
+    }
+    if (!guard) {
+        ++engineStats.all.falseGuard;
+        ++cls.falseGuard;
+    }
+    if (predicted != taken) {
+        ++engineStats.all.mispredicts;
+        ++cls.mispredicts;
+        ++prof.mispredicts;
+    }
+}
+
+template <bool UseSfpf, bool UsePgu>
+void
+PredictionEngine::batchPredDefine(const DecodedTrace &trace,
+                                  std::uint64_t i)
+{
+    // MIRROR of handlePredicateDefine() over the trace's flat lanes:
+    // the configuration flags are template parameters and no DynInst
+    // is built except for the PGU's observe (materialised inline, so
+    // the compiler drops the fields observe never reads). Any
+    // semantic change in the reference handler lands here too; the
+    // equivalence tests (tests/test_replay_fast.cc) pin the two
+    // event for event.
+    ++engineStats.predicateDefines;
+    if constexpr (UseSfpf) {
+        const unsigned writes = trace.numPredWrites(i);
+        const std::uint8_t regs[2] = {trace.predReg0[i],
+                                      trace.predReg1[i]};
+        for (unsigned w = 0; w < writes; ++w)
+            predFile.write(i, regs[w], (trace.predVal[i] >> w) & 1);
+        if (cfg.conservativeDefTracking) {
+            const Inst &inst = *trace.insts[i];
+            auto written = [&](unsigned reg) {
+                for (unsigned w = 0; w < writes; ++w)
+                    if (regs[w] == reg)
+                        return true;
+                return false;
+            };
+            if (!written(inst.pdst1))
+                predFile.writeNoop(i, inst.pdst1);
+            if (inst.op == Opcode::Cmp && !written(inst.pdst2))
+                predFile.writeNoop(i, inst.pdst2);
+        }
+    }
+    if constexpr (UsePgu)
+        pgu.observe(trace.materialise(i));
+}
+
+template <bool UseSfpf, bool UsePgu, bool UseSpec, typename Pred>
+void
+PredictionEngine::batchLoop(Pred &bp, const DecodedTrace &trace,
+                            std::uint64_t first, std::uint64_t count)
+{
+    // MIRROR of process() over the trace's flat lanes: no DynInst is
+    // built on the hot path (predicate defines run the lane-level
+    // mirror below; only the PGU's observe still sees a DynInst,
+    // materialised inline), and seq is the lane index by the decoded
+    // trace's construction.
+    //
+    // One deliberate reordering: the reference path advances the
+    // predicate file and drains the PGU on EVERY instruction, but
+    // both operations are monotonic and idempotent in seq, and their
+    // state is only ever read at a conditional branch (predFile.read
+    // / the history bits a prediction sees) or after the run (gauges,
+    // checkpoints). Deferring them to the next branch retires and
+    // injects exactly the same entries in the same order before every
+    // read, so every prediction, counter and exported byte is
+    // unchanged - pinned by tests/test_replay_fast.cc. Likewise
+    // shiftsSincePguBit: it only moves at drains and branch shifts,
+    // so draining at the branch reproduces its per-branch value.
+    // Same deferral for the instruction counter: nothing reads it
+    // mid-batch, so the per-instruction increment folds into one add.
+    engineStats.insts += count;
+    const std::uint64_t end = first + count;
+    auto drain = [&](std::uint64_t seq) {
+        // The concrete-predictor instantiations bind the per-bit
+        // history injection statically; the BranchPredictor fallback
+        // keeps the virtual drain.
+        unsigned drained;
+        if constexpr (std::is_same_v<Pred, BranchPredictor>)
+            drained = pgu.drainTo(seq);
+        else
+            drained = pgu.drainToAs(bp, seq);
+        if (drained > 0)
+            shiftsSincePguBit = 0;
+    };
+    for (std::uint64_t i = first; i < end; ++i) {
+        switch (static_cast<DecodedTrace::Class>(trace.cls[i])) {
+          case DecodedTrace::Class::CondBranch: {
+            if constexpr (UseSfpf)
+                predFile.advanceTo(i);
+            if constexpr (UsePgu)
+                drain(i);
+            const std::uint8_t f = trace.flags[i];
+            batchCondBranch<UseSfpf, UsePgu, UseSpec>(
+                bp, trace.pcs[i], *trace.insts[i], f & 1,
+                (f >> 1) & 1);
+            break;
+          }
+          case DecodedTrace::Class::UncondControl:
+            ++engineStats.uncondBranches;
+            break;
+          case DecodedTrace::Class::PredDefine:
+            batchPredDefine<UseSfpf, UsePgu>(trace, i);
+            break;
+          case DecodedTrace::Class::Other:
+            break;
+        }
+    }
+    // Sync the deferred state to where the reference loop leaves it
+    // after its last per-instruction advance/drain, so end-of-run
+    // observers (metric gauges, a checkpoint taken after the batch)
+    // see identical bytes.
+    if (count > 0) {
+        if constexpr (UseSfpf)
+            predFile.advanceTo(end - 1);
+        if constexpr (UsePgu)
+            drain(end - 1);
+    }
+}
+
+template <bool UseSfpf, bool UsePgu, bool UseSpec>
+void
+PredictionEngine::batchDispatch(const DecodedTrace &trace,
+                                std::uint64_t first,
+                                std::uint64_t count)
+{
+    // Identify the hot predictors once per batch; inside the loop
+    // their final predictAndUpdate then binds statically. Anything
+    // else runs the same loop through the base interface (still one
+    // virtual call per branch instead of two).
+    if (auto *g = dynamic_cast<GSharePredictor *>(&pred))
+        batchLoop<UseSfpf, UsePgu, UseSpec>(*g, trace, first, count);
+    else if (auto *c = dynamic_cast<CombiningPredictor *>(&pred))
+        batchLoop<UseSfpf, UsePgu, UseSpec>(*c, trace, first, count);
+    else if (auto *p = dynamic_cast<PerceptronPredictor *>(&pred))
+        batchLoop<UseSfpf, UsePgu, UseSpec>(*p, trace, first, count);
+    else
+        batchLoop<UseSfpf, UsePgu, UseSpec>(pred, trace, first, count);
+}
+
+std::uint64_t
+PredictionEngine::processBatch(const DecodedTrace &trace,
+                               std::uint64_t first,
+                               std::uint64_t max_insts)
+{
+    if (first >= trace.size())
+        return first; // clamped, like replayTraceFrom
+    std::uint64_t count =
+        std::min<std::uint64_t>(max_insts, trace.size() - first);
+
+    // One three-way configuration dispatch per batch; each arm is a
+    // loop specialisation containing only its configuration's code.
+    if (cfg.useSfpf) {
+        if (cfg.usePgu) {
+            if (cfg.useSpeculativeSquash)
+                batchDispatch<true, true, true>(trace, first, count);
+            else
+                batchDispatch<true, true, false>(trace, first, count);
+        } else {
+            if (cfg.useSpeculativeSquash)
+                batchDispatch<true, false, true>(trace, first, count);
+            else
+                batchDispatch<true, false, false>(trace, first, count);
+        }
+    } else {
+        if (cfg.usePgu) {
+            if (cfg.useSpeculativeSquash)
+                batchDispatch<false, true, true>(trace, first, count);
+            else
+                batchDispatch<false, true, false>(trace, first, count);
+        } else {
+            if (cfg.useSpeculativeSquash)
+                batchDispatch<false, false, true>(trace, first, count);
+            else
+                batchDispatch<false, false, false>(trace, first,
+                                                   count);
+        }
+    }
+    return first + count;
 }
 
 void
@@ -276,7 +566,7 @@ Status
 PredictionEngine::loadState(StateSource &src)
 {
     bool use_sfpf, use_pgu, train_on_squashed, conservative, spec;
-    bool pgu_pset;
+    bool pgu_pset = false;
     std::uint32_t avail_delay, pvp_log2, jrs_log2, pgu_delay;
     std::uint32_t profile_cap;
     std::uint8_t spec_gate, pgu_source, pgu_value;
@@ -359,8 +649,12 @@ std::uint64_t
 replayTraceFrom(const RecordedTrace &trace, PredictionEngine &engine,
                 std::uint64_t first, std::uint64_t max_insts)
 {
+    // Clamp, returning FIRST unchanged: a resume cursor positioned at
+    // or past the end of a (shorter) trace must not be yanked back to
+    // trace.size() - callers treat the return value as their new
+    // cursor, and moving it backwards would silently re-run events.
     if (first >= trace.size())
-        return trace.size();
+        return first;
     std::uint64_t count =
         std::min<std::uint64_t>(max_insts, trace.size() - first);
     for (std::uint64_t i = first; i < first + count; ++i)

@@ -19,6 +19,7 @@
 #include "core/pgu.hh"
 #include "core/pred_value_pred.hh"
 #include "core/sfpf.hh"
+#include "sim/decoded_trace.hh"
 #include "sim/emulator.hh"
 #include "sim/trace_io.hh"
 #include "util/stats.hh"
@@ -117,7 +118,15 @@ struct ProcessResult
 {
     bool condBranch = false;
     bool mispredicted = false;
+    /** SFPF squash: the guard was RESOLVED false at fetch, so the
+     *  not-taken prediction is certain (never a mispredict). */
     bool squashed = false;
+    /** Speculative squash (extension): the guard was only PREDICTED
+     *  false - a confidence-gated guess, not a certainty. When the
+     *  guess is wrong the branch was taken and `mispredicted` is also
+     *  set; consumers that treat `squashed` as "cannot mispredict"
+     *  must not lump this flag in with it. */
+    bool specSquashed = false;
 };
 
 /** Drives predictor + SFPF + PGU over a dynamic trace. */
@@ -128,6 +137,26 @@ class PredictionEngine
 
     /** Feed one executed instruction, in program order. */
     ProcessResult process(const DynInst &dyn);
+
+    /**
+     * Fast replay: feed events [@p first, @p first + @p max_insts) of
+     * a pre-decoded trace. Bit-identical to calling process() on
+     * trace.materialise(i) for each i - the equivalence tests pin
+     * stats, profile and exported metrics - but substantially faster:
+     * the useSfpf/usePgu/useSpeculativeSquash configuration branches
+     * are hoisted out of the loop into template specialisations, the
+     * per-step DynInst construction disappears (the loop reads the
+     * trace's flat lanes), and the predict+update pair on the hot
+     * predictors (gshare, combining, perceptron) devirtualises into
+     * one statically-bound predictAndUpdate call. See docs/PERF.md.
+     *
+     * Returns the index one past the last event processed; @p first
+     * at or past the end processes nothing and returns @p first
+     * unchanged (same clamped contract as replayTraceFrom).
+     */
+    std::uint64_t processBatch(const DecodedTrace &trace,
+                               std::uint64_t first,
+                               std::uint64_t max_insts);
 
     const EngineStats &stats() const { return engineStats; }
     std::uint64_t pguBitsInserted() const { return pgu.bitsInserted(); }
@@ -189,6 +218,30 @@ class PredictionEngine
 
     ProcessResult processConditionalBranch(const DynInst &dyn);
 
+    /** The reference path's predicate-define handling (process());
+     *  batchPredDefine() is its lane-level mirror. */
+    void handlePredicateDefine(const DynInst &dyn);
+
+    /** @name processBatch internals (defined in engine.cc)
+     * The configuration flags become template parameters so each of
+     * the eight loop specialisations contains only the code its
+     * configuration needs; Pred is the predictor's CONCRETE type
+     * where known (gshare/combining/perceptron), devirtualising
+     * predictAndUpdate.
+     * @{ */
+    template <bool UseSfpf, bool UsePgu, bool UseSpec>
+    void batchDispatch(const DecodedTrace &trace, std::uint64_t first,
+                       std::uint64_t count);
+    template <bool UseSfpf, bool UsePgu, bool UseSpec, typename Pred>
+    void batchLoop(Pred &bp, const DecodedTrace &trace,
+                   std::uint64_t first, std::uint64_t count);
+    template <bool UseSfpf, bool UsePgu, bool UseSpec, typename Pred>
+    void batchCondBranch(Pred &bp, std::uint32_t pc, const Inst &inst,
+                         bool guard, bool taken);
+    template <bool UseSfpf, bool UsePgu>
+    void batchPredDefine(const DecodedTrace &trace, std::uint64_t i);
+    /** @} */
+
     /** The base predictor's history shifted once (a branch-outcome
      *  update); age the PGU-influence window, saturating. */
     void
@@ -219,6 +272,10 @@ std::uint64_t replayTrace(const RecordedTrace &trace,
 /**
  * Replay starting at event @p first (a position restored from a
  * checkpoint). Returns the index one past the last event processed.
+ * Clamped semantics: @p first at or past the end of the trace
+ * processes nothing and returns @p first UNCHANGED - a resume cursor
+ * positioned past a (shorter) trace must not be yanked backwards, or
+ * the caller's progress bookkeeping would silently re-run events.
  */
 std::uint64_t replayTraceFrom(const RecordedTrace &trace,
                               PredictionEngine &engine,

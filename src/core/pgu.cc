@@ -3,50 +3,6 @@
 namespace pabp {
 
 void
-PredicateGlobalUpdate::observe(const DynInst &dyn)
-{
-    const Inst &inst = *dyn.inst;
-    bool is_cmp = inst.op == Opcode::Cmp;
-    bool is_pset = inst.op == Opcode::PSet;
-    if (!is_cmp && !(is_pset && cfg.includePSet))
-        return;
-    if (cfg.source == PguSource::RegionCmps && inst.regionId < 0)
-        return;
-
-    switch (cfg.value) {
-      case PguValue::Rel:
-        // Insert the comparison outcome for guarded-true compares;
-        // a guard-false compare computed nothing worth recording.
-        if (is_cmp && dyn.guard)
-            queue.push_back(Pending{dyn.seq, dyn.cmpRel});
-        else if (is_pset && dyn.guard)
-            queue.push_back(Pending{dyn.seq, (inst.imm & 1) != 0});
-        break;
-      case PguValue::FirstWrite:
-        if (dyn.numPredWrites > 0)
-            queue.push_back(Pending{dyn.seq, dyn.predWrites[0].value});
-        break;
-      case PguValue::BothWrites:
-        for (unsigned i = 0; i < dyn.numPredWrites; ++i)
-            queue.push_back(Pending{dyn.seq, dyn.predWrites[i].value});
-        break;
-    }
-}
-
-unsigned
-PredicateGlobalUpdate::drainTo(std::uint64_t seq)
-{
-    unsigned drained = 0;
-    while (!queue.empty() && queue.front().seq + cfg.delay <= seq) {
-        pred.injectHistoryBit(queue.front().bit);
-        ++inserted;
-        ++drained;
-        queue.pop_front();
-    }
-    return drained;
-}
-
-void
 PredicateGlobalUpdate::reset()
 {
     queue.clear();
@@ -58,10 +14,10 @@ void
 PredicateGlobalUpdate::saveState(StateSink &sink) const
 {
     sink.writeU64(queue.size());
-    for (const Pending &p : queue) {
+    queue.forEach([&](const Pending &p) {
         sink.writeU64(p.seq);
         sink.writeBool(p.bit);
-    }
+    });
     sink.writeU64(inserted);
 }
 

@@ -19,11 +19,11 @@
 #define PABP_CORE_PGU_HH
 
 #include <cstdint>
-#include <deque>
 
 #include "bpred/predictor.hh"
 #include "isa/inst.hh"
 #include "sim/emulator.hh"
+#include "util/ring_queue.hh"
 #include "util/serialize.hh"
 #include "util/stats.hh"
 #include "util/status.hh"
@@ -69,14 +69,85 @@ class PredicateGlobalUpdate
         : pred(base), cfg(config)
     {}
 
-    /** Observe one executed instruction; queue its history bits. */
-    void observe(const DynInst &dyn);
+    /** Observe one executed instruction; queue its history bits.
+     *  Inline: both replay loops call it for every predicate define,
+     *  which is a fifth to a third of an if-converted stream. */
+    void
+    observe(const DynInst &dyn)
+    {
+        const Inst &inst = *dyn.inst;
+        bool is_cmp = inst.op == Opcode::Cmp;
+        bool is_pset = inst.op == Opcode::PSet;
+        if (!is_cmp && !(is_pset && cfg.includePSet))
+            return;
+        if (cfg.source == PguSource::RegionCmps && inst.regionId < 0)
+            return;
+
+        switch (cfg.value) {
+          case PguValue::Rel:
+            // Insert the comparison outcome for guarded-true
+            // compares; a guard-false compare computed nothing worth
+            // recording.
+            if (is_cmp && dyn.guard)
+                queue.push_back(Pending{dyn.seq, dyn.cmpRel});
+            else if (is_pset && dyn.guard)
+                queue.push_back(Pending{dyn.seq, (inst.imm & 1) != 0});
+            break;
+          case PguValue::FirstWrite:
+            if (dyn.numPredWrites > 0)
+                queue.push_back(
+                    Pending{dyn.seq, dyn.predWrites[0].value});
+            break;
+          case PguValue::BothWrites:
+            for (unsigned i = 0; i < dyn.numPredWrites; ++i)
+                queue.push_back(
+                    Pending{dyn.seq, dyn.predWrites[i].value});
+            break;
+        }
+    }
 
     /** Inject all bits that have resolved by @p seq. Call before the
      *  prediction of the branch at @p seq. Returns how many bits
      *  were injected (the engine uses this to attribute
-     *  PGU-influenced predictions per branch). */
-    unsigned drainTo(std::uint64_t seq);
+     *  PGU-influenced predictions per branch). Inline: the replay
+     *  loops call it per instruction, and with defines a fifth to a
+     *  third of the stream a bit ripens on a sizeable fraction of
+     *  those calls. */
+    unsigned
+    drainTo(std::uint64_t seq)
+    {
+        unsigned drained = 0;
+        while (!queue.empty() && queue.front().seq + cfg.delay <= seq) {
+            pred.injectHistoryBit(queue.front().bit);
+            ++inserted;
+            ++drained;
+            queue.pop_front();
+        }
+        return drained;
+    }
+
+    /**
+     * drainTo() with the base predictor supplied by its concrete
+     * static type, so injectHistoryBit binds without a virtual
+     * dispatch per bit - the batched replay loop's variant. @p p MUST
+     * be the very predictor this PGU was constructed over (asserted);
+     * the qualified call then lands on exactly the override the
+     * virtual call would have picked.
+     */
+    template <typename P>
+    unsigned
+    drainToAs(P &p, std::uint64_t seq)
+    {
+        pabp_assert(static_cast<BranchPredictor *>(&p) == &pred);
+        unsigned drained = 0;
+        while (!queue.empty() && queue.front().seq + cfg.delay <= seq) {
+            p.P::injectHistoryBit(queue.front().bit);
+            ++inserted;
+            ++drained;
+            queue.pop_front();
+        }
+        return drained;
+    }
 
     std::uint64_t bitsInserted() const { return inserted; }
     std::uint64_t pendingBits() const { return queue.size(); }
@@ -112,7 +183,7 @@ class PredicateGlobalUpdate
 
     BranchPredictor &pred;
     PguConfig cfg;
-    std::deque<Pending> queue;
+    RingQueue<Pending> queue;
     std::uint64_t inserted = 0;
 };
 

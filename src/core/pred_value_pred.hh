@@ -33,7 +33,11 @@ class PredicateValuePredictor
     /** Predicted guard value for the branch at @p pc. */
     bool predictGuard(std::uint32_t pc) const;
 
-    /** Train with the architecturally resolved guard value. */
+    /** Train with the architecturally resolved guard value. The
+     *  engine calls this ONLY for branches whose guard was unresolved
+     *  at fetch - the population the speculative path can act on;
+     *  resolved guards would flood the table with easy cases and
+     *  inflate the confidence gate (see processConditionalBranch). */
     void train(std::uint32_t pc, bool guard);
 
     /** Confidence gate: only act on saturated counters. */
@@ -43,8 +47,10 @@ class PredicateValuePredictor
     std::size_t storageBits() const { return table.size() * 2; }
 
     /** @name Observability
-     * trains() counts training events (one per guarded branch seen
-     * with the extension armed); checkpointed alongside the table.
+     * trains() counts training events - one per conditional branch
+     * whose guard was UNRESOLVED at fetch, with the extension armed
+     * (pinned by tests/test_stats.cc); checkpointed alongside the
+     * table.
      * @{ */
     std::uint64_t trains() const { return trainCount; }
     void registerStats(StatGroup &group, const std::string &prefix);

@@ -136,7 +136,12 @@ Pipeline::issueOne(const DynInst &dyn)
     for (unsigned i = 0; i < dyn.numPredWrites; ++i)
         predReady[dyn.predWrites[i].reg] = done;
 
-    // Control flow: prediction outcome drives the front end.
+    // Control flow: prediction outcome drives the front end. Both
+    // squash kinds need no separate handling here: an SFPF squash
+    // (result.squashed) is a certain not-taken prediction and never
+    // mispredicts, and a wrong speculative squash
+    // (result.specSquashed) already surfaces as mispredicted - the
+    // full restart below is exactly its penalty.
     ProcessResult result = engine.process(dyn);
     if (result.condBranch && result.mispredicted) {
         std::uint64_t resolve = cycle + 1;

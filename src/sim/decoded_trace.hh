@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Structure-of-arrays form of a RecordedTrace, pre-decoded for the
+ * hot replay loop (PredictionEngine::processBatch).
+ *
+ * RecordedTrace::materialise() re-resolves the static instruction
+ * (a bounds-checked map lookup), re-unpacks the event bitfields and
+ * fills a full DynInst for EVERY replayed instruction. A DecodedTrace
+ * does that work exactly once at build time: each per-event lane the
+ * engine's batch loop touches (pc, pre-resolved `const Inst *`,
+ * opcode class, guard/taken flags, predicate-write payload) is a flat
+ * contiguous array indexed by sequence number, so the inner loop is
+ * a handful of indexed loads with no per-step DynInst construction.
+ *
+ * A built DecodedTrace is immutable and safe to share READ-ONLY
+ * across threads - the sweep runner caches one per (workload,
+ * measurement seed, budget) and replays every matching cell against
+ * it, exactly like the compiled-program cache (docs/PARALLEL.md,
+ * docs/PERF.md). It owns a copy of the program so the `Inst`
+ * pointers can never dangle; copying is deleted (a copy would alias
+ * the source's instructions) while moving is allowed (vector moves
+ * keep heap buffers, so the pointers stay valid).
+ */
+
+#ifndef PABP_SIM_DECODED_TRACE_HH
+#define PABP_SIM_DECODED_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/trace_io.hh"
+
+namespace pabp {
+
+/** A RecordedTrace unpacked into per-field lanes (seq = index). */
+struct DecodedTrace
+{
+    /**
+     * How PredictionEngine::process() would dispatch the event.
+     * The classes are mutually exclusive by construction: Br/Call/Ret
+     * never write predicates and Cmp/PSet are never control.
+     */
+    enum class Class : std::uint8_t
+    {
+        Other = 0,     ///< no predictor interaction
+        CondBranch,    ///< Br with a qualifying predicate
+        UncondControl, ///< unguarded Br, Call, Ret
+        PredDefine,    ///< Cmp or PSet (writes predicates)
+    };
+
+    /** Owned program copy; the `insts` lane points into it. */
+    Program prog;
+
+    /** @name Per-event lanes, all of size() entries
+     *  @{ */
+    std::vector<std::uint32_t> pcs;
+    std::vector<const Inst *> insts; ///< pre-resolved static inst
+    std::vector<std::uint8_t> cls;   ///< a Class value
+    /** bit0 guard, bit1 taken, bits 2-3 numPredWrites - the exact
+     *  RecordedTrace::Event::flags packing. */
+    std::vector<std::uint8_t> flags;
+    std::vector<std::uint8_t> predReg0;
+    std::vector<std::uint8_t> predReg1;
+    /** bit0/bit1 = write values, bit2 cmpRel (Event::predVal). */
+    std::vector<std::uint8_t> predVal;
+    std::vector<std::uint32_t> nextPcs;
+    /** @} */
+
+    DecodedTrace() = default;
+    DecodedTrace(DecodedTrace &&) = default;
+    DecodedTrace &operator=(DecodedTrace &&) = default;
+    DecodedTrace(const DecodedTrace &) = delete;
+    DecodedTrace &operator=(const DecodedTrace &) = delete;
+
+    std::size_t size() const { return pcs.size(); }
+
+    bool guard(std::size_t i) const { return flags[i] & 1; }
+    bool taken(std::size_t i) const { return (flags[i] >> 1) & 1; }
+    unsigned
+    numPredWrites(std::size_t i) const
+    {
+        return (flags[i] >> 2) & 3;
+    }
+
+    /**
+     * Reconstitute the full DynInst for event @p i - field-for-field
+     * what RecordedTrace::materialise(i) returns. The batch loop uses
+     * this for predicate defines (a fifth to a third of a typical
+     * if-converted stream, hence inline); it also lets tests pin
+     * lane-vs-event equivalence directly.
+     */
+    DynInst
+    materialise(std::size_t i) const
+    {
+        const Inst &inst = *insts[i];
+
+        DynInst dyn;
+        dyn.seq = i;
+        dyn.pc = pcs[i];
+        dyn.inst = &inst;
+        dyn.guard = guard(i);
+        dyn.taken = taken(i);
+        dyn.isControl = inst.isControl();
+        dyn.nextPc = nextPcs[i];
+        dyn.numPredWrites =
+            static_cast<std::uint8_t>(numPredWrites(i));
+        const std::uint8_t regs[2] = {predReg0[i], predReg1[i]};
+        for (unsigned w = 0; w < dyn.numPredWrites; ++w) {
+            dyn.predWrites[w].reg = regs[w];
+            dyn.predWrites[w].value = (predVal[i] >> w) & 1;
+        }
+        dyn.cmpRel = (predVal[i] >> 2) & 1;
+        dyn.isMem =
+            inst.op == Opcode::Load || inst.op == Opcode::Store;
+        return dyn;
+    }
+
+    /** Decode @p trace into lanes (the only way to build one). */
+    static DecodedTrace build(const RecordedTrace &trace);
+};
+
+} // namespace pabp
+
+#endif // PABP_SIM_DECODED_TRACE_HH

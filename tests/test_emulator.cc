@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "isa/program.hh"
 #include "sim/emulator.hh"
 
@@ -64,6 +67,23 @@ TEST(Emulator, DivByZeroYieldsZero)
                makeHalt()};
     Emulator emu = runProgram(p);
     EXPECT_EQ(emu.state().readGpr(2), 0);
+}
+
+TEST(Emulator, DivOverflowWrapsToMin)
+{
+    // INT64_MIN / -1 traps on real hardware (the quotient does not
+    // fit); the emulator defines it as wrapping to INT64_MIN so the
+    // operation can never invoke C++ UB whatever a workload computes.
+    const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+    Program p;
+    p.insts = {makeMovImm(1, min), makeMovImm(2, -1),
+               makeAlu(Opcode::Div, 3, 1, 2),
+               makeAluImm(Opcode::Div, 4, 1, -1),
+               makeAluImm(Opcode::Div, 5, 1, 0), makeHalt()};
+    Emulator emu = runProgram(p);
+    EXPECT_EQ(emu.state().readGpr(3), min);
+    EXPECT_EQ(emu.state().readGpr(4), min);
+    EXPECT_EQ(emu.state().readGpr(5), 0); // min/0 is still div-by-zero
 }
 
 TEST(Emulator, R0IsHardwiredZero)
@@ -146,20 +166,28 @@ INSTANTIATE_TEST_SUITE_P(
         CmpCase{CmpType::Unc, true, false, false, true},
         CmpCase{CmpType::Unc, false, true, false, false},
         CmpCase{CmpType::Unc, false, false, false, false},
-        // And: clears both when guarded and rel false.
+        // And: clears both when guarded and rel false. A false guard
+        // writes NOTHING regardless of rel - the parallel types must
+        // not be confused with Unc's clear-on-false-guard.
         CmpCase{CmpType::And, true, true, true, true},
         CmpCase{CmpType::And, true, false, false, false},
         CmpCase{CmpType::And, false, false, true, true},
+        CmpCase{CmpType::And, false, true, true, true},
         // Or: sets both when guarded and rel true.
         CmpCase{CmpType::Or, true, true, true, true},
         CmpCase{CmpType::Or, true, false, true, true},
         CmpCase{CmpType::Or, false, true, true, true},
+        CmpCase{CmpType::Or, false, false, true, true},
         // OrAndcm: p1|=1, p2&=0 when guarded and rel true.
         CmpCase{CmpType::OrAndcm, true, true, true, false},
         CmpCase{CmpType::OrAndcm, true, false, true, true},
+        CmpCase{CmpType::OrAndcm, false, true, true, true},
+        CmpCase{CmpType::OrAndcm, false, false, true, true},
         // AndOrcm: p1&=0, p2|=1 when guarded and rel false.
         CmpCase{CmpType::AndOrcm, true, false, false, true},
-        CmpCase{CmpType::AndOrcm, true, true, true, true}));
+        CmpCase{CmpType::AndOrcm, true, true, true, true},
+        CmpCase{CmpType::AndOrcm, false, false, true, true},
+        CmpCase{CmpType::AndOrcm, false, true, true, true}));
 
 TEST(Emulator, P0WritesDiscarded)
 {
@@ -266,9 +294,34 @@ TEST(Emulator, CallAndReturn)
 
 TEST(Emulator, RetOnEmptyStackHalts)
 {
+    // A top-level ret is a clean program exit, not a crash: the
+    // machine halts AT the ret (no control transfer is recorded, the
+    // pc does not move, nothing past it executes).
+    Program p;
+    p.insts = {makeRet(), makeMovImm(1, 99), makeHalt()};
+    Emulator emu = runProgram(p);
+    EXPECT_TRUE(emu.halted());
+    EXPECT_FALSE(emu.fuseBlown());
+    EXPECT_EQ(emu.instsExecuted(), 1u);
+    EXPECT_EQ(emu.state().readGpr(1), 0) << "the halt must precede "
+                                            "the following instruction";
+    EXPECT_TRUE(emu.state().callStack.empty());
+}
+
+TEST(Emulator, RetOnEmptyStackIsRecordedNotTaken)
+{
+    // The DynInst the trace recorder sees for that final ret: a
+    // control instruction that did not transfer (taken=false, nextPc
+    // frozen) - so a recorded trace replays the halt faithfully.
     Program p;
     p.insts = {makeRet(), makeHalt()};
-    Emulator emu = runProgram(p);
+    EmuConfig cfg;
+    Emulator emu(p, cfg);
+    DynInst dyn;
+    ASSERT_TRUE(emu.step(dyn));
+    EXPECT_TRUE(dyn.isControl);
+    EXPECT_FALSE(dyn.taken);
+    EXPECT_EQ(dyn.nextPc, dyn.pc);
     EXPECT_TRUE(emu.halted());
 }
 

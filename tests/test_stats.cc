@@ -213,6 +213,49 @@ TEST(EngineResetStats, ClearsEveryRegisteredCounter)
 }
 
 // ---------------------------------------------------------------------
+// Value-predictor training population. Pins the gating fix: with the
+// speculative-squash extension armed, the guard value predictor
+// trains ONLY on branches whose guard was unresolved at fetch - the
+// population it can ever act on. (It used to train on every guarded
+// branch, flooding the table with easy resolved cases and inflating
+// the confidence gate.) The attribution table counts exactly that
+// population per PC, so the two must agree to the event.
+
+TEST(EngineSpecSquash, PvpTrainsOnlyOnFetchUnresolvedGuards)
+{
+    Workload wl = makeWorkload("interp", 42);
+    CompileOptions copts;
+    CompiledProgram cp = compileWorkload(wl, copts);
+    GSharePredictor pred(12);
+
+    EngineConfig ecfg;
+    ecfg.useSfpf = true;
+    ecfg.useSpeculativeSquash = true;
+    PredictionEngine engine(pred, ecfg);
+    StatGroup group;
+    engine.registerStats(group);
+
+    Emulator emu(cp.prog);
+    if (wl.init)
+        wl.init(emu.state());
+    runTrace(emu, engine, 50000);
+
+    const BranchProfile &profile = engine.branchProfile();
+    std::uint64_t unknown = profile.evictedRemainder().guardUnknown;
+    std::uint64_t known = profile.evictedRemainder().guardKnown;
+    for (const auto &[pc, c] : profile.entries()) {
+        unknown += c.guardUnknown;
+        known += c.guardKnown;
+    }
+    // Both populations must be present, or the pin is vacuous.
+    ASSERT_GT(unknown, 0u);
+    ASSERT_GT(known, 0u);
+    EXPECT_EQ(group.value("pvp.trains"), unknown)
+        << "pvp must train once per fetch-unresolved guard and "
+           "never on resolved ones";
+}
+
+// ---------------------------------------------------------------------
 // Metrics exporter: golden bytes, round-trip, file writing.
 
 TEST(MetricsGolden, ExactJsonBytes)
