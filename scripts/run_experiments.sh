@@ -103,6 +103,33 @@ test "${PIPESTATUS[0]}" -eq 0
     fi
 } 2>&1 | tee -a bench_output.txt
 
+# --- Fuzz stage (docs/FUZZING.md) ------------------------------------
+# Deterministic differential testing: replay the committed corpus,
+# prove the harness still catches the re-introduced PR-4 clamp bug,
+# and run a bounded fixed-seed campaign. Every knob is pinned, so this
+# stage is byte-reproducible; any divergence is minimised to a
+# reproducer in FUZZ_EMIT_DIR and fails the run.
+FUZZ_RUNS=${FUZZ_RUNS:-50}
+FUZZ_SEED=${FUZZ_SEED:-1}
+FUZZ_EMIT_DIR=${FUZZ_EMIT_DIR:-results/fuzz-failures}
+{
+    echo "== fuzz: corpus replay =="
+    if ! build/tools/pabp-fuzz --replay-dir tests/corpus \
+        --scratch-dir build; then
+        echo "FAILED: pabp-fuzz --replay-dir tests/corpus"
+    fi
+    echo "== fuzz: harness self-check (injected clamp bug) =="
+    if ! build/tools/pabp-fuzz --check-harness --scratch-dir build; then
+        echo "FAILED: pabp-fuzz --check-harness"
+    fi
+    echo "== fuzz: campaign seeds [$FUZZ_SEED, $((FUZZ_SEED + FUZZ_RUNS))) =="
+    mkdir -p "$FUZZ_EMIT_DIR"
+    if ! build/tools/pabp-fuzz --runs "$FUZZ_RUNS" --seed "$FUZZ_SEED" \
+        --emit-dir "$FUZZ_EMIT_DIR" --scratch-dir build; then
+        echo "FAILED: pabp-fuzz campaign (reproducers in $FUZZ_EMIT_DIR)"
+    fi
+} 2>&1 | tee -a bench_output.txt
+
 # The loops ran in the pipelines' subshells, so their verdicts must
 # be recovered from the transcript.
 if grep -q '^FAILED: ' bench_output.txt; then

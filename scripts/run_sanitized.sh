@@ -23,6 +23,19 @@ cmake -B "$BUILD_DIR" -G Ninja -DPABP_SANITIZE=ON
 cmake --build "$BUILD_DIR"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+# Fuzz stage under ASan/UBSan (docs/FUZZING.md): the trace-corruption
+# oracle feeds bit-flipped and truncated PABPTRC2 bytes to both the
+# strict and the salvage readers - exactly the inputs where an
+# out-of-bounds read would hide without sanitizers. Fixed seeds keep
+# the stage deterministic; any divergence or sanitizer report fails.
+FUZZ_RUNS=${FUZZ_RUNS:-25}
+FUZZ_SEED=${FUZZ_SEED:-1}
+"$BUILD_DIR"/tools/pabp-fuzz --replay-dir tests/corpus \
+    --scratch-dir "$BUILD_DIR"
+"$BUILD_DIR"/tools/pabp-fuzz --check-harness --scratch-dir "$BUILD_DIR"
+"$BUILD_DIR"/tools/pabp-fuzz --runs "$FUZZ_RUNS" --seed "$FUZZ_SEED" \
+    --scratch-dir "$BUILD_DIR"
+
 if [ "${PABP_SKIP_TSAN:-0}" != "1" ]; then
     TSAN_DIR=${TSAN_DIR:-build-tsan}
     cmake -B "$TSAN_DIR" -G Ninja -DPABP_TSAN=ON

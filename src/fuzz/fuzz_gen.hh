@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Seeded random-program generator for the differential-testing
+ * subsystem (docs/FUZZING.md). Extends the structured generator idea
+ * of workloads/random_gen.hh with the knobs the fuzz campaign sweeps:
+ *
+ *  - branchDensity: fraction of top-level structural items that are
+ *    branchy (diamond / triangle / loop) rather than straight-line.
+ *    Each top-level item draws from its OWN rng stream seeded by
+ *    (seed, item index), and the branchy/straight decision comes from
+ *    a separate up-front roll per item, so raising the density with a
+ *    fixed seed strictly adds branches without perturbing the other
+ *    items - the monotonicity property tests/test_fuzz_gen.cc pins.
+ *  - predNestDepth: diamonds nest inside diamond arms up to this
+ *    depth, which after if-conversion yields chains of guarded
+ *    (parallel) compares - including compares whose guard is false at
+ *    execute, one of the emulator edge cases the corpus covers.
+ *  - hyperblock-formation pressure: mapped onto the region heuristics
+ *    by fuzzCompileOptions() (0 = conservative defaults, 100 = huge
+ *    permissive regions that maximise region-based branches).
+ *  - loop shapes: counted loops with optional data-dependent break
+ *    edges, nested up to loopDepth.
+ *  - call/return depth: buildFuzzPrograms() wraps the compiled body
+ *    in a driver + a chain of callDepth nested procedures (Program
+ *    level - the CFG IR has no call support), exercising Call/Ret and
+ *    the pipeline RAS; emptyRas additionally ends the driver with a
+ *    Ret on an empty call stack (architecturally a halt).
+ *  - division/overflow edge cases: INT64_MIN / -1, division by zero,
+ *    and wrapping multiply/add patterns, at a configurable rate.
+ *
+ * Everything is deterministic in (seed, config): equal inputs give
+ * byte-identical programs, which is what makes a corpus case a
+ * self-contained reproducer.
+ */
+
+#ifndef PABP_FUZZ_FUZZ_GEN_HH
+#define PABP_FUZZ_FUZZ_GEN_HH
+
+#include <cstdint>
+
+#include "compiler/compile.hh"
+#include "workloads/workload.hh"
+
+namespace pabp::fuzz {
+
+/** Generator knobs. All fields are clamped by clampConfig(). */
+struct FuzzProgramConfig
+{
+    unsigned items = 8;          ///< top-level structural items
+    unsigned branchDensity = 60; ///< percent of items that branch
+    unsigned predNestDepth = 2;  ///< max nested diamond depth
+    unsigned loopDepth = 2;      ///< max loop nesting
+    unsigned callDepth = 0;      ///< call-chain procedures (0 = none)
+    unsigned hbPressure = 50;    ///< 0..100 region-formation pressure
+    unsigned divEdgePercent = 0; ///< percent chance of div/overflow
+                                 ///< edge-case blocks per item
+    bool emptyRas = false;       ///< trailing ret on an empty stack
+    std::int64_t dataWindow = 1024; ///< memory words touched (pow2)
+    std::int64_t repeats = 12;   ///< body outer-loop trip count
+
+    bool operator==(const FuzzProgramConfig &) const = default;
+};
+
+/** Clamp every knob into its supported range (in place). */
+void clampConfig(FuzzProgramConfig &cfg);
+
+/**
+ * Build the CFG-body workload for (seed, cfg). This is the
+ * sweep-compatible form: the call/return wrapper is NOT applied
+ * (RunSpec factories compile the workload themselves). Deterministic.
+ */
+Workload makeFuzzWorkload(std::uint64_t seed,
+                          const FuzzProgramConfig &cfg);
+
+/**
+ * Compile options for a fuzz case: hbPressure mapped onto the region
+ * heuristics, and a reduced profiling budget so corpus replay stays
+ * cheap enough for tier-1 CI.
+ */
+CompileOptions fuzzCompileOptions(const FuzzProgramConfig &cfg,
+                                  bool if_convert);
+
+/** Both lowerings of one generated program, call-wrapped when the
+ *  config asks for it, plus what the oracles need to run them. */
+struct FuzzPrograms
+{
+    Workload body;           ///< the CFG workload (init closure!)
+    CompiledProgram branchy; ///< normal lowering, wrapped
+    CompiledProgram converted; ///< if-converted lowering, wrapped
+};
+
+/**
+ * Generate + compile both lowerings and apply the call/return
+ * wrapper (when callDepth > 0 or emptyRas). Both programs pass
+ * validateProgram(); the converted one passes
+ * verifyPredicatedProgram() before wrapping (the wrapper's driver
+ * and procedures live outside every region).
+ */
+FuzzPrograms buildFuzzPrograms(std::uint64_t seed,
+                               const FuzzProgramConfig &cfg);
+
+/** Number of CondBranch terminators in a CFG (the static branch
+ *  count the density-monotonicity property is stated over). */
+unsigned staticCondBranches(const IrFunction &fn);
+
+/** Stable 64-bit fingerprint of a config (workload cache ids). */
+std::uint64_t configFingerprint(const FuzzProgramConfig &cfg);
+
+} // namespace pabp::fuzz
+
+#endif // PABP_FUZZ_FUZZ_GEN_HH

@@ -1,0 +1,560 @@
+#include "fuzz/oracles.hh"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "bpred/factory.hh"
+#include "compiler/pred_verify.hh"
+#include "core/checkpoint.hh"
+#include "pipeline/pipeline.hh"
+#include "sim/decoded_trace.hh"
+#include "sim/trace_io.hh"
+#include "sweep.hh"
+#include "util/metrics.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace pabp::fuzz {
+
+namespace {
+
+/** Oracle emulators: the generator masks every address into the
+ *  (<= 4096 word) data window, so a small memory keeps the memory
+ *  comparison in sameArchOutcome() cheap. */
+constexpr std::size_t oracleMemWords = 1u << 16;
+
+/** Halt fuse for the run-to-completion oracles. Every generated
+ *  program terminates (all loops are counted); the fuse only bounds
+ *  a would-be generator bug. */
+constexpr std::uint64_t haltBudget = 16'000'000;
+
+Status
+diverged(std::string what)
+{
+    return statusError(StatusCode::Corrupt, std::move(what));
+}
+
+/** Shared per-case artifacts, built once and reused by the oracles. */
+struct CaseContext
+{
+    FuzzPrograms progs;
+    bool haveTrace = false;
+    RecordedTrace trace; ///< converted program, c.maxInsts budget
+
+    const RecordedTrace &
+    traceFor(const FuzzCase &c)
+    {
+        if (!haveTrace) {
+            Emulator emu(progs.converted.prog,
+                         EmuConfig{oracleMemWords, 0});
+            if (progs.body.init)
+                progs.body.init(emu.state());
+            trace = recordTrace(emu, c.maxInsts);
+            haveTrace = true;
+        }
+        return trace;
+    }
+};
+
+Expected<PredictorPtr>
+makeCasePredictor(const FuzzCase &c)
+{
+    return tryMakePredictor(c.predictor, c.sizeLog2);
+}
+
+/** Compact one-line digest of an EngineStats mismatch. */
+std::string
+statsDiff(const EngineStats &a, const EngineStats &b)
+{
+    std::ostringstream os;
+    auto field = [&os](const char *name, std::uint64_t x,
+                       std::uint64_t y) {
+        if (x != y)
+            os << " " << name << "=" << x << "/" << y;
+    };
+    field("insts", a.insts, b.insts);
+    field("uncond", a.uncondBranches, b.uncondBranches);
+    field("pdefs", a.predicateDefines, b.predicateDefines);
+    field("branches", a.all.branches, b.all.branches);
+    field("taken", a.all.taken, b.all.taken);
+    field("mispredicts", a.all.mispredicts, b.all.mispredicts);
+    field("squashed", a.all.squashed, b.all.squashed);
+    field("falseGuard", a.all.falseGuard, b.all.falseGuard);
+    field("region.branches", a.region.branches, b.region.branches);
+    field("region.mispredicts", a.region.mispredicts,
+          b.region.mispredicts);
+    field("specSquashed", a.specSquashed, b.specSquashed);
+    field("specSquashedWrong", a.specSquashedWrong,
+          b.specSquashedWrong);
+    std::string out = os.str();
+    return out.empty() ? " (difference in a nested counter)" : out;
+}
+
+/** Serialised metric bytes of an engine - the strongest equality the
+ *  replay oracle checks (docs/OBSERVABILITY.md byte-stable JSON). */
+std::string
+metricsBytes(PredictionEngine &engine)
+{
+    StatGroup group;
+    engine.registerStats(group);
+    MetricsExporter exporter;
+    exporter.addGroup(group);
+    std::ostringstream os;
+    exporter.writeJson(os);
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Oracle 1: if-conversion round trip.
+
+Status
+oracleIfConvert(const FuzzCase &c, CaseContext &ctx)
+{
+    (void)c;
+    const FuzzPrograms &p = ctx.progs;
+    std::string err = verifyFunction(p.body.fn);
+    if (!err.empty())
+        return diverged("generated IR fails verifyFunction: " + err);
+    err = validateProgram(p.branchy.prog);
+    if (!err.empty())
+        return diverged("branchy lowering fails validateProgram: " +
+                        err);
+    err = validateProgram(p.converted.prog);
+    if (!err.empty())
+        return diverged(
+            "if-converted lowering fails validateProgram: " + err);
+    err = verifyPredicatedProgram(p.converted.prog);
+    if (!err.empty())
+        return diverged("if-converted lowering fails pred_verify: " +
+                        err);
+
+    auto runToHalt = [&](Emulator &emu) {
+        if (p.body.init)
+            p.body.init(emu.state());
+        emu.run(haltBudget);
+    };
+    Emulator branchy(p.branchy.prog, EmuConfig{oracleMemWords, haltBudget});
+    runToHalt(branchy);
+    Emulator converted(p.converted.prog,
+                       EmuConfig{oracleMemWords, haltBudget});
+    runToHalt(converted);
+
+    if (!branchy.state().halted)
+        return diverged("branchy program did not halt in " +
+                        std::to_string(haltBudget) + " insts");
+    if (!converted.state().halted)
+        return diverged("if-converted program did not halt in " +
+                        std::to_string(haltBudget) + " insts");
+    for (unsigned r = 0; r < numGprs; ++r)
+        if (branchy.state().readGpr(r) != converted.state().readGpr(r))
+            return diverged(
+                "if-conversion changed r" + std::to_string(r) + ": " +
+                std::to_string(branchy.state().readGpr(r)) + " vs " +
+                std::to_string(converted.state().readGpr(r)));
+    if (!branchy.state().sameArchOutcome(converted.state()))
+        return diverged("if-conversion changed memory contents");
+    return {};
+}
+
+// ---------------------------------------------------------------------
+// Oracle 2: emulator-driven vs pipeline-driven engine.
+
+Status
+oraclePipeline(const FuzzCase &c, CaseContext &ctx)
+{
+    const FuzzPrograms &p = ctx.progs;
+
+    Expected<PredictorPtr> predA = makeCasePredictor(c);
+    Expected<PredictorPtr> predB = makeCasePredictor(c);
+    if (!predA.ok())
+        return predA.status();
+    if (!predB.ok())
+        return predB.status();
+
+    PredictionEngine engineA(*predA.value(), c.engine);
+    Emulator emuA(p.converted.prog, EmuConfig{oracleMemWords, 0});
+    if (p.body.init)
+        p.body.init(emuA.state());
+    runTrace(emuA, engineA, c.maxInsts);
+
+    PredictionEngine engineB(*predB.value(), c.engine);
+    Emulator emuB(p.converted.prog, EmuConfig{oracleMemWords, 0});
+    if (p.body.init)
+        p.body.init(emuB.state());
+    Pipeline pipe(engineB, PipelineConfig{});
+    pipe.run(emuB, c.maxInsts);
+
+    if (emuA.instsExecuted() != emuB.instsExecuted())
+        return diverged(
+            "pipeline retired a different instruction count: " +
+            std::to_string(emuA.instsExecuted()) + " vs " +
+            std::to_string(emuB.instsExecuted()));
+    if (!emuA.state().sameArchOutcome(emuB.state()))
+        return diverged("pipeline run diverged architecturally from "
+                        "the bare emulator");
+    if (!(engineA.stats() == engineB.stats()))
+        return diverged("engine stats differ between emulator-driven "
+                        "and pipeline-driven runs:" +
+                        statsDiff(engineA.stats(), engineB.stats()));
+    if (!(engineA.branchProfile() == engineB.branchProfile()))
+        return diverged("per-branch profiles differ between "
+                        "emulator-driven and pipeline-driven runs");
+    return {};
+}
+
+// ---------------------------------------------------------------------
+// Oracle 3: reference replay vs fast batch replay.
+
+Status
+oracleReplay(const FuzzCase &c, CaseContext &ctx)
+{
+    const RecordedTrace &trace = ctx.traceFor(c);
+    if (trace.size() == 0)
+        return diverged("recorded trace is empty (generator bug)");
+
+    Expected<PredictorPtr> predA = makeCasePredictor(c);
+    Expected<PredictorPtr> predB = makeCasePredictor(c);
+    if (!predA.ok())
+        return predA.status();
+    if (!predB.ok())
+        return predB.status();
+
+    PredictionEngine ref(*predA.value(), c.engine);
+    std::uint64_t refProcessed = replayTrace(trace, ref, trace.size());
+
+    DecodedTrace decoded = DecodedTrace::build(trace);
+    PredictionEngine fast(*predB.value(), c.engine);
+    std::uint64_t fastProcessed =
+        fast.processBatch(decoded, 0, decoded.size());
+
+    if (refProcessed != fastProcessed)
+        return diverged("processed-count mismatch: reference " +
+                        std::to_string(refProcessed) + " vs fast " +
+                        std::to_string(fastProcessed));
+    if (!(ref.stats() == fast.stats()))
+        return diverged("fast replay stats diverge from reference:" +
+                        statsDiff(ref.stats(), fast.stats()));
+    if (!(ref.branchProfile() == fast.branchProfile()))
+        return diverged(
+            "fast replay per-branch profile diverges from reference");
+    if (ref.pguBitsInserted() != fast.pguBitsInserted())
+        return diverged(
+            "PGU bits inserted differ: reference " +
+            std::to_string(ref.pguBitsInserted()) + " vs fast " +
+            std::to_string(fast.pguBitsInserted()));
+    if (metricsBytes(ref) != metricsBytes(fast))
+        return diverged("exported metrics bytes differ between "
+                        "reference and fast replay");
+    return {};
+}
+
+// ---------------------------------------------------------------------
+// Oracle 4: checkpoint/resume vs straight-through.
+
+Status
+oracleCheckpoint(const FuzzCase &c, CaseContext &ctx, const RunEnv &env)
+{
+    const RecordedTrace &trace = ctx.traceFor(c);
+    if (trace.size() == 0)
+        return diverged("recorded trace is empty (generator bug)");
+
+    // The replay entry point under test, with the optional harness
+    // self-check: reintroduce the PR-4 clamp bug (a past-the-end
+    // cursor yanked back to trace.size()) to prove the oracle and
+    // the shrinker catch it.
+    auto replayFrom = [&env](const RecordedTrace &t,
+                             PredictionEngine &e, std::uint64_t first,
+                             std::uint64_t max) -> std::uint64_t {
+        if (env.injectClampBug && first >= t.size())
+            return t.size();
+        return replayTraceFrom(t, e, first, max);
+    };
+
+    Expected<PredictorPtr> preds[3] = {makeCasePredictor(c),
+                                       makeCasePredictor(c),
+                                       makeCasePredictor(c)};
+    for (const auto &p : preds)
+        if (!p.ok())
+            return p.status();
+
+    PredictionEngine straight(*preds[0].value(), c.engine);
+    replayFrom(trace, straight, 0, trace.size());
+
+    char fp[17];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(
+                      configFingerprint(c.gen) ^ c.seed));
+    const std::string ckpt =
+        env.scratchDir + "/pabp-fuzz-" + fp + ".ckpt";
+
+    PredictionEngine first(*preds[1].value(), c.engine);
+    std::uint64_t half = trace.size() / 2;
+    std::uint64_t pos = replayFrom(trace, first, 0, half);
+    PABP_TRY(saveCheckpoint(ckpt,
+                            CheckpointRefs{nullptr, &first, &pos}));
+
+    PredictionEngine resumed(*preds[2].value(), c.engine);
+    std::uint64_t resumedPos = 0;
+    PABP_TRY(loadCheckpoint(
+        ckpt, CheckpointRefs{nullptr, &resumed, &resumedPos}));
+    if (resumedPos != pos)
+        return diverged("restored stream position " +
+                        std::to_string(resumedPos) +
+                        " != saved position " + std::to_string(pos));
+    replayFrom(trace, resumed, resumedPos, trace.size());
+
+    if (!(straight.stats() == resumed.stats()))
+        return diverged(
+            "checkpoint/resume stats diverge from straight-through:" +
+            statsDiff(straight.stats(), resumed.stats()));
+    if (!(straight.branchProfile() == resumed.branchProfile()))
+        return diverged("checkpoint/resume per-branch profile "
+                        "diverges from straight-through");
+
+    // Clamped-cursor contract: a resume cursor past the end of a
+    // (shorter) trace processes nothing and comes back UNCHANGED -
+    // yanking it backwards silently re-runs events (the PR-4 bug).
+    const std::uint64_t past = trace.size() + 3;
+    EngineStats before = resumed.stats();
+    std::uint64_t got = replayFrom(trace, resumed, past, 1000);
+    if (got != past)
+        return diverged(
+            "replayTraceFrom moved a past-the-end cursor: gave " +
+            std::to_string(past) + ", got back " +
+            std::to_string(got) + " (trace size " +
+            std::to_string(trace.size()) + ")");
+    if (!(resumed.stats() == before))
+        return diverged("replayTraceFrom with a past-the-end cursor "
+                        "changed engine stats:" +
+                        statsDiff(before, resumed.stats()));
+    return {};
+}
+
+// ---------------------------------------------------------------------
+// Oracle 5: corrupted-trace robustness.
+
+/** One corruption recipe applied to the serialised bytes. */
+struct CorruptSpec
+{
+    unsigned flips = 0;
+    std::uint64_t rngSeed = 0;
+    unsigned truncate = 0;
+};
+
+std::string
+corrupt(const std::string &bytes, const CorruptSpec &spec)
+{
+    std::string out = bytes;
+    if (spec.truncate > 0) {
+        std::size_t cut =
+            spec.truncate >= out.size() ? 0 : out.size() - spec.truncate;
+        out.resize(cut);
+    }
+    if (!out.empty()) {
+        Rng rng(spec.rngSeed ? spec.rngSeed : 0xc0ffee);
+        for (unsigned i = 0; i < spec.flips; ++i) {
+            std::size_t byte = rng.below(out.size());
+            out[byte] = static_cast<char>(
+                static_cast<unsigned char>(out[byte]) ^
+                (1u << rng.below(8)));
+        }
+    }
+    return out;
+}
+
+bool
+sameProgram(const Program &a, const Program &b)
+{
+    if (a.insts.size() != b.insts.size())
+        return false;
+    for (std::size_t i = 0; i < a.insts.size(); ++i)
+        if (!(encode(a.insts[i]) == encode(b.insts[i])))
+            return false;
+    return true;
+}
+
+Status
+checkCorrupted(const RecordedTrace &original, const std::string &bytes,
+               const CorruptSpec &spec)
+{
+    auto describe = [&spec]() {
+        return std::to_string(spec.flips) + " flip(s), truncate " +
+            std::to_string(spec.truncate) + ", rng seed " +
+            std::to_string(spec.rngSeed);
+    };
+
+    // Strict read: either a typed error or - if the corruption was
+    // somehow undetectable - byte-identical content. Anything else is
+    // silent divergence.
+    {
+        std::istringstream in(bytes);
+        Expected<RecordedTrace> strict = readTrace(in);
+        if (strict.ok()) {
+            if (!sameProgram(strict.value().prog, original.prog) ||
+                strict.value().events != original.events)
+                return diverged("strict read of a corrupted trace "
+                                "returned Ok with DIFFERENT content (" +
+                                describe() + ")");
+        }
+    }
+
+    // Salvage read: a typed error, or a valid prefix of the original
+    // events over an intact program.
+    {
+        std::istringstream in(bytes);
+        TraceReadOptions opts;
+        opts.salvage = true;
+        TraceReadInfo info;
+        Expected<RecordedTrace> salvaged = readTrace(in, opts, &info);
+        if (salvaged.ok()) {
+            const RecordedTrace &s = salvaged.value();
+            if (!sameProgram(s.prog, original.prog))
+                return diverged(
+                    "salvage returned Ok with a corrupted program "
+                    "section (" + describe() + ")");
+            if (s.events.size() > original.events.size())
+                return diverged("salvage returned MORE events than "
+                                "were written (" + describe() + ")");
+            for (std::size_t i = 0; i < s.events.size(); ++i)
+                if (!(s.events[i] == original.events[i]))
+                    return diverged(
+                        "salvaged event " + std::to_string(i) +
+                        " is not a prefix of the original (" +
+                        describe() + ")");
+        }
+    }
+    return {};
+}
+
+Status
+oracleTrace(const FuzzCase &c, CaseContext &ctx)
+{
+    const RecordedTrace &trace = ctx.traceFor(c);
+    std::ostringstream os;
+    writeTrace(trace, os);
+    const std::string bytes = os.str();
+
+    std::vector<CorruptSpec> schedule;
+    if (c.corruptFlips > 0 || c.corruptTruncate > 0) {
+        schedule.push_back(
+            {c.corruptFlips, c.corruptSeed, c.corruptTruncate});
+    } else {
+        // Default schedule, derived from the case seed: single flip,
+        // burst of flips, tail truncation, and both at once.
+        std::uint64_t s = c.seed ^ 0x77ace;
+        schedule.push_back({1, s + 1, 0});
+        schedule.push_back({3, s + 2, 0});
+        schedule.push_back(
+            {0, s + 3,
+             static_cast<unsigned>(1 + bytes.size() / 8)});
+        schedule.push_back({1, s + 4, 7});
+    }
+    for (const CorruptSpec &spec : schedule)
+        PABP_TRY(checkCorrupted(trace, corrupt(bytes, spec), spec));
+    return {};
+}
+
+// ---------------------------------------------------------------------
+// Oracle 6: sweep-cell fast vs reference (oracle reuse of runOne).
+
+Status
+oracleSweep(const FuzzCase &c, CaseContext &ctx)
+{
+    bench::RunSpec spec;
+    spec.workload = ctx.progs.body.name; // unique: fuzz-<seed>-<fp>
+    FuzzProgramConfig gen = c.gen;
+    spec.factory = [gen](std::uint64_t seed) {
+        return makeFuzzWorkload(seed, gen);
+    };
+    spec.seed = c.seed;
+    spec.predictor = c.predictor;
+    spec.sizeLog2 = c.sizeLog2;
+    spec.ifConvert = true;
+    spec.engine = c.engine;
+    spec.compile = fuzzCompileOptions(c.gen, true);
+    spec.maxInsts = c.maxInsts;
+
+    bench::SweepRunner runner(bench::SweepRunner::Config{1, 0});
+    spec.fastReplay = true;
+    bench::RunResult fast = runner.runOne(spec);
+    spec.fastReplay = false;
+    bench::RunResult ref = runner.runOne(spec);
+
+    if (!fast.status.ok())
+        return diverged("sweep cell failed under fast replay: " +
+                        fast.status.toString());
+    if (!ref.status.ok())
+        return diverged("sweep cell failed under reference replay: " +
+                        ref.status.toString());
+    if (!(fast.engine == ref.engine))
+        return diverged("sweep cell stats differ between fast and "
+                        "reference replay:" +
+                        statsDiff(ref.engine, fast.engine));
+    if (!(fast.profile == ref.profile))
+        return diverged("sweep cell per-branch profiles differ "
+                        "between fast and reference replay");
+    if (fast.pguBits != ref.pguBits)
+        return diverged("sweep cell PGU bit counts differ: fast " +
+                        std::to_string(fast.pguBits) +
+                        " vs reference " + std::to_string(ref.pguBits));
+    return {};
+}
+
+Status
+runOracleWith(Oracle oracle, const FuzzCase &c, const RunEnv &env,
+              CaseContext &ctx)
+{
+    switch (oracle) {
+      case Oracle::IfConvert: return oracleIfConvert(c, ctx);
+      case Oracle::Pipeline: return oraclePipeline(c, ctx);
+      case Oracle::Replay: return oracleReplay(c, ctx);
+      case Oracle::Checkpoint: return oracleCheckpoint(c, ctx, env);
+      case Oracle::Trace: return oracleTrace(c, ctx);
+      case Oracle::Sweep: return oracleSweep(c, ctx);
+    }
+    return statusError(StatusCode::InvalidArgument,
+                       "unknown oracle id");
+}
+
+} // anonymous namespace
+
+Status
+runOracle(Oracle oracle, const FuzzCase &fuzz_case, const RunEnv &env)
+{
+    CaseContext ctx;
+    ctx.progs = buildFuzzPrograms(fuzz_case.seed, fuzz_case.gen);
+    return runOracleWith(oracle, fuzz_case, env, ctx);
+}
+
+Expected<CaseOutcome>
+runCase(const FuzzCase &fuzz_case, const RunEnv &env)
+{
+    // Reject setup problems before any oracle runs, so a typo'd
+    // predictor name is a usage error (exit 2), not a "divergence".
+    Expected<PredictorPtr> probe = makeCasePredictor(fuzz_case);
+    if (!probe.ok())
+        return probe.status();
+    if (fuzz_case.maxInsts == 0)
+        return statusError(StatusCode::InvalidArgument,
+                           "fuzz case: max_insts must be > 0");
+
+    CaseContext ctx;
+    ctx.progs = buildFuzzPrograms(fuzz_case.seed, fuzz_case.gen);
+
+    CaseOutcome outcome;
+    const Oracle order[] = {Oracle::IfConvert, Oracle::Pipeline,
+                            Oracle::Replay, Oracle::Checkpoint,
+                            Oracle::Trace, Oracle::Sweep};
+    for (Oracle o : order) {
+        if (!(fuzz_case.oracles & static_cast<unsigned>(o)))
+            continue;
+        outcome.oraclesRun |= static_cast<unsigned>(o);
+        Status verdict = runOracleWith(o, fuzz_case, env, ctx);
+        if (!verdict.ok())
+            outcome.failures.push_back(FuzzReport{o, verdict});
+    }
+    return outcome;
+}
+
+} // namespace pabp::fuzz

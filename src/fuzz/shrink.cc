@@ -1,0 +1,199 @@
+#include "fuzz/shrink.hh"
+
+namespace pabp::fuzz {
+
+namespace {
+
+/** Shrink driver state: the current smallest failing case plus the
+ *  evaluation budget shared by every field. */
+struct Shrinker
+{
+    FuzzCase best;
+    const FailPredicate &stillFails;
+    unsigned budget;
+    unsigned accepted = 0;
+    unsigned attempts = 0;
+
+    Shrinker(FuzzCase start, const FailPredicate &pred, unsigned b)
+        : best(std::move(start)), stillFails(pred), budget(b)
+    {}
+
+    bool
+    tryCandidate(const FuzzCase &candidate)
+    {
+        if (attempts >= budget)
+            return false;
+        ++attempts;
+        if (!stillFails(candidate))
+            return false;
+        best = candidate;
+        ++accepted;
+        return true;
+    }
+
+    /**
+     * Minimise one numeric knob: jump straight to the floor first
+     * (one evaluation wins everything when the knob is irrelevant to
+     * the failure), then binary-descend toward it.
+     */
+    template <typename Get, typename Set>
+    void
+    shrinkNumeric(std::uint64_t floor, Get get, Set set)
+    {
+        while (attempts < budget && get(best) > floor) {
+            FuzzCase candidate = best;
+            set(candidate, floor);
+            if (tryCandidate(candidate))
+                return;
+            std::uint64_t cur = get(best);
+            std::uint64_t mid = floor + (cur - floor) / 2;
+            if (mid == cur)
+                return;
+            candidate = best;
+            set(candidate, mid);
+            if (!tryCandidate(candidate))
+                return; // neither floor nor midpoint reproduces
+        }
+    }
+
+};
+
+} // anonymous namespace
+
+ShrinkResult
+shrinkCaseWith(const FuzzCase &start, const FailPredicate &still_fails,
+               unsigned budget)
+{
+    Shrinker sh(start, still_fails, budget);
+
+    // Iterate to a fixpoint: shrinking one knob (say items) often
+    // unlocks another (say maxInsts), so one pass is not enough.
+    unsigned lastAccepted;
+    do {
+        lastAccepted = sh.accepted;
+
+        sh.shrinkNumeric(
+            1, [](const FuzzCase &c) {
+                return static_cast<std::uint64_t>(c.gen.repeats);
+            },
+            [](FuzzCase &c, std::uint64_t v) {
+                c.gen.repeats = static_cast<std::int64_t>(v);
+            });
+        sh.shrinkNumeric(
+            1,
+            [](const FuzzCase &c) {
+                return static_cast<std::uint64_t>(c.gen.items);
+            },
+            [](FuzzCase &c, std::uint64_t v) {
+                c.gen.items = static_cast<unsigned>(v);
+            });
+        sh.shrinkNumeric(
+            12, [](const FuzzCase &c) { return c.maxInsts; },
+            [](FuzzCase &c, std::uint64_t v) { c.maxInsts = v; });
+        sh.shrinkNumeric(
+            0,
+            [](const FuzzCase &c) {
+                return static_cast<std::uint64_t>(c.gen.callDepth);
+            },
+            [](FuzzCase &c, std::uint64_t v) {
+                c.gen.callDepth = static_cast<unsigned>(v);
+            });
+        sh.shrinkNumeric(
+            0,
+            [](const FuzzCase &c) {
+                return static_cast<std::uint64_t>(c.gen.loopDepth);
+            },
+            [](FuzzCase &c, std::uint64_t v) {
+                c.gen.loopDepth = static_cast<unsigned>(v);
+            });
+        sh.shrinkNumeric(
+            0,
+            [](const FuzzCase &c) {
+                return static_cast<std::uint64_t>(c.gen.predNestDepth);
+            },
+            [](FuzzCase &c, std::uint64_t v) {
+                c.gen.predNestDepth = static_cast<unsigned>(v);
+            });
+        sh.shrinkNumeric(
+            0,
+            [](const FuzzCase &c) {
+                return static_cast<std::uint64_t>(c.gen.branchDensity);
+            },
+            [](FuzzCase &c, std::uint64_t v) {
+                c.gen.branchDensity = static_cast<unsigned>(v);
+            });
+        sh.shrinkNumeric(
+            0,
+            [](const FuzzCase &c) {
+                return static_cast<std::uint64_t>(c.gen.divEdgePercent);
+            },
+            [](FuzzCase &c, std::uint64_t v) {
+                c.gen.divEdgePercent = static_cast<unsigned>(v);
+            });
+        sh.shrinkNumeric(
+            0,
+            [](const FuzzCase &c) {
+                return static_cast<std::uint64_t>(c.gen.hbPressure);
+            },
+            [](FuzzCase &c, std::uint64_t v) {
+                c.gen.hbPressure = static_cast<unsigned>(v);
+            });
+        sh.shrinkNumeric(
+            16,
+            [](const FuzzCase &c) {
+                return static_cast<std::uint64_t>(c.gen.dataWindow);
+            },
+            [](FuzzCase &c, std::uint64_t v) {
+                c.gen.dataWindow = static_cast<std::int64_t>(v);
+            });
+        sh.shrinkNumeric(
+            0,
+            [](const FuzzCase &c) {
+                return static_cast<std::uint64_t>(c.corruptTruncate);
+            },
+            [](FuzzCase &c, std::uint64_t v) {
+                c.corruptTruncate = static_cast<unsigned>(v);
+            });
+        sh.shrinkNumeric(
+            0,
+            [](const FuzzCase &c) {
+                return static_cast<std::uint64_t>(c.corruptFlips);
+            },
+            [](FuzzCase &c, std::uint64_t v) {
+                c.corruptFlips = static_cast<unsigned>(v);
+            });
+
+        if (sh.best.gen.emptyRas) {
+            FuzzCase candidate = sh.best;
+            candidate.gen.emptyRas = false;
+            sh.tryCandidate(candidate);
+        }
+    } while (sh.accepted != lastAccepted && sh.attempts < sh.budget);
+
+    // The clamp keeps the reproducer replayable exactly as written.
+    clampConfig(sh.best.gen);
+    return ShrinkResult{sh.best, sh.accepted, sh.attempts};
+}
+
+ShrinkResult
+shrinkCase(const FuzzCase &start, const RunEnv &env, unsigned budget)
+{
+    Expected<CaseOutcome> base = runCase(start, env);
+    if (!base.ok() || base.value().passed())
+        return ShrinkResult{start, 0, 0};
+
+    unsigned failMask = 0;
+    for (const FuzzReport &report : base.value().failures)
+        failMask |= static_cast<unsigned>(report.oracle);
+
+    FuzzCase seed = start;
+    seed.oracles = failMask;
+
+    FailPredicate pred = [&env](const FuzzCase &candidate) {
+        Expected<CaseOutcome> result = runCase(candidate, env);
+        return result.ok() && !result.value().passed();
+    };
+    return shrinkCaseWith(seed, pred, budget);
+}
+
+} // namespace pabp::fuzz

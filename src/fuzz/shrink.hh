@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Delta-debugging shrinker for fuzz cases. Because program generation
+ * is deterministic in (seed, knobs), minimisation happens over the
+ * KNOBS, not the program text: each accepted step shrinks one knob
+ * toward its floor (fewer items, fewer repeats, shorter trace budget,
+ * no calls, ...) while the failure predicate keeps reproducing. The
+ * fixpoint is a small self-contained `.pabp` reproducer.
+ */
+
+#ifndef PABP_FUZZ_SHRINK_HH
+#define PABP_FUZZ_SHRINK_HH
+
+#include <functional>
+
+#include "fuzz/fuzz_case.hh"
+#include "fuzz/oracles.hh"
+
+namespace pabp::fuzz {
+
+/** Returns true when the candidate still reproduces the failure. */
+using FailPredicate = std::function<bool(const FuzzCase &)>;
+
+/** What the shrinker did. */
+struct ShrinkResult
+{
+    FuzzCase shrunk;       ///< smallest still-failing case found
+    unsigned accepted = 0; ///< reductions that kept the failure
+    unsigned attempts = 0; ///< predicate evaluations spent
+};
+
+/**
+ * Greedy knob minimisation against an arbitrary predicate (exposed
+ * separately so the unit tests can drive it with synthetic
+ * predicates). @p start must satisfy @p still_fails; @p budget bounds
+ * predicate evaluations.
+ */
+ShrinkResult shrinkCaseWith(const FuzzCase &start,
+                            const FailPredicate &still_fails,
+                            unsigned budget = 200);
+
+/**
+ * Minimise a case that failed runCase(): re-runs the case to learn
+ * which oracles fail, restricts the case to exactly those oracles
+ * (faster replay, and the reproducer pins the failing oracle), then
+ * shrinks while at least one of them keeps failing. Returns the
+ * original case untouched (accepted == 0, attempts == 0) when it does
+ * not fail to begin with.
+ */
+ShrinkResult shrinkCase(const FuzzCase &start, const RunEnv &env,
+                        unsigned budget = 200);
+
+} // namespace pabp::fuzz
+
+#endif // PABP_FUZZ_SHRINK_HH
