@@ -6,7 +6,9 @@
 # The sweep runner library: RunSpec grids executed across a worker
 # pool with deterministic, submission-ordered results. Shared by all
 # experiment binaries and by tests/test_sweep.cc.
-add_library(pabp_sweep STATIC ${PROJECT_SOURCE_DIR}/bench/sweep.cc)
+add_library(pabp_sweep STATIC
+    ${PROJECT_SOURCE_DIR}/bench/sweep.cc
+    ${PROJECT_SOURCE_DIR}/bench/sweep_service.cc)
 target_include_directories(pabp_sweep PUBLIC
     ${PROJECT_SOURCE_DIR}/bench)
 target_link_libraries(pabp_sweep PUBLIC pabp_workloads pabp_pipeline

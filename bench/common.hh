@@ -54,7 +54,68 @@ standardOptions()
     opts.declare("no-fast-replay", "0",
                  "force the reference per-instruction loop "
                  "(overrides --fast-replay)");
+    opts.declare("shard", "0/1",
+                 "run only the cells shard i of N owns ('i/N'); "
+                 "other cells are skipped in place, keeping table "
+                 "layout (docs/PARALLEL.md)");
+    opts.declare("max-attempts", "1",
+                 "total tries per cell for retryable (IoError) "
+                 "failures; 1 = no retry");
+    opts.declare("backoff-ms", "0",
+                 "deterministic retry backoff base, milliseconds "
+                 "(doubles per attempt)");
+    opts.declare("watchdog-ms", "0",
+                 "per-attempt wall-clock deadline, ms (0 = off); an "
+                 "overrunning cell fails with DeadlineExceeded");
+    opts.declare("heartbeat-insts", "65536",
+                 "instructions between watchdog deadline checks");
     return opts;
+}
+
+/** Parse the standard --shard option ('i/N'). Malformed values are
+ *  fatal - this is the CLI shim layer (util/status.hh). */
+inline ShardSpec
+shardFromOptions(const Options &opts)
+{
+    const std::string text = opts.str("shard");
+    ShardSpec shard;
+    const std::size_t slash = text.find('/');
+    bool ok = slash != std::string::npos && slash > 0 &&
+        slash + 1 < text.size();
+    if (ok) {
+        try {
+            std::size_t used = 0;
+            const unsigned long i =
+                std::stoul(text.substr(0, slash), &used);
+            ok = used == slash;
+            const std::string count = text.substr(slash + 1);
+            const unsigned long n = std::stoul(count, &used);
+            ok = ok && used == count.size() && n > 0 && i < n;
+            shard.index = static_cast<std::uint32_t>(i);
+            shard.count = static_cast<std::uint32_t>(n);
+        } catch (const std::exception &) {
+            ok = false;
+        }
+    }
+    if (!ok)
+        pabp_fatal("bad --shard '" + text + "' (want 'i/N', i < N)");
+    return shard;
+}
+
+/** Copy the robust-execution options (shard, retry, watchdog) into a
+ *  run spec. */
+inline void
+applyRobustnessOptions(RunSpec &spec, const Options &opts)
+{
+    spec.shard = shardFromOptions(opts);
+    spec.maxAttempts =
+        std::max<std::int64_t>(1, opts.integer("max-attempts"));
+    spec.retryBackoffMillis =
+        static_cast<std::uint32_t>(opts.integer("backoff-ms"));
+    spec.watchdogMillis =
+        static_cast<std::uint32_t>(opts.integer("watchdog-ms"));
+    spec.heartbeatInsts = std::max<std::int64_t>(
+        1, opts.integer("heartbeat-insts"));
 }
 
 /** Effective --fast-replay value: the parser has no native --no-X
@@ -76,11 +137,12 @@ applyCheckpointOptions(RunSpec &spec, const Options &opts)
     spec.resumePath = opts.str("resume");
     spec.metricsDir = opts.str("metrics-dir");
     spec.fastReplay = fastReplayFromOptions(opts);
+    applyRobustnessOptions(spec, opts);
 }
 
-/** Fill RunSpec::metricsDir and the replay strategy on a whole grid,
- *  for binaries that do not route specs through
- *  applyCheckpointOptions. */
+/** Fill RunSpec::metricsDir, the replay strategy and the robustness
+ *  knobs on a whole grid, for binaries that do not route specs
+ *  through applyCheckpointOptions. */
 inline void
 applyMetricsOptions(std::vector<RunSpec> &specs, const Options &opts)
 {
@@ -89,6 +151,7 @@ applyMetricsOptions(std::vector<RunSpec> &specs, const Options &opts)
     for (RunSpec &spec : specs) {
         spec.metricsDir = dir;
         spec.fastReplay = fast;
+        applyRobustnessOptions(spec, opts);
     }
 }
 

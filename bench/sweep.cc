@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <filesystem>
+#include <sstream>
 #include <system_error>
+#include <thread>
 #include <utility>
 
 #include "bpred/factory.hh"
@@ -138,27 +141,69 @@ resumeFallsBackToFresh(const Status &status)
         status.code() == StatusCode::InvalidArgument;
 }
 
+/** Wall-clock deadline for one cell attempt (RunSpec::watchdogMillis).
+ *  Unarmed (0) deadlines never expire and leave the engine loops
+ *  un-chunked. */
+class CellDeadline
+{
+  public:
+    explicit CellDeadline(std::uint32_t millis)
+        : armed(millis > 0),
+          at(std::chrono::steady_clock::now() +
+             std::chrono::milliseconds(millis))
+    {}
+
+    bool
+    expired() const
+    {
+        return armed && std::chrono::steady_clock::now() >= at;
+    }
+
+    /** Budget slice between checks: the heartbeat grain when armed,
+     *  the whole remaining budget when not. */
+    std::uint64_t
+    slice(std::uint64_t heartbeat, std::uint64_t remaining) const
+    {
+        if (!armed || heartbeat == 0)
+            return remaining;
+        return std::min(heartbeat, remaining);
+    }
+
+    /** NOTE: deliberately free of wall-clock-dependent detail (how
+     *  many instructions ran varies run to run) - the text lands in
+     *  quarantine journal records, whose bytes must converge across
+     *  interrupted and clean campaigns (bench/sweep_service.hh). */
+    Status
+    status(const RunSpec &spec, std::uint64_t) const
+    {
+        return Status(StatusCode::DeadlineExceeded,
+                      "cell '" + spec.workload + "' overran its " +
+                          std::to_string(spec.watchdogMillis) +
+                          " ms watchdog deadline");
+    }
+
+  private:
+    bool armed;
+    std::chrono::steady_clock::time_point at;
+};
+
 /**
- * Export one finished cell's metrics (docs/OBSERVABILITY.md). The
- * engine must still be alive: the export snapshots the StatGroup the
- * engine registers its gauges into, which is also what pins the
- * registry path itself in every metrics-enabled sweep.
+ * Build one finished cell's metrics document
+ * (docs/OBSERVABILITY.md). The engine must still be alive: the export
+ * snapshots the StatGroup the engine registers its gauges into, which
+ * is also what pins the registry path itself in every metrics-enabled
+ * sweep.
  *
  * RunResult::resumed is deliberately NOT exported: the resume
  * equivalence contract promises a resumed run's metrics file is
- * byte-identical to an uninterrupted one's.
+ * byte-identical to an uninterrupted one's. Neither are the
+ * robustness knobs or attempt counts - a cell that needed a retry
+ * must still measure (and serialise) identically to one that did not.
  */
-Status
-writeCellMetrics(const RunSpec &spec, const RunResult &result,
+MetricsExporter
+buildCellMetrics(const RunSpec &spec, const RunResult &result,
                  PredictionEngine *engine)
 {
-    std::error_code ec;
-    std::filesystem::create_directories(spec.metricsDir, ec);
-    if (ec)
-        return Status(StatusCode::IoError,
-                      "cannot create metrics directory '" +
-                          spec.metricsDir + "': " + ec.message());
-
     MetricsExporter ex;
     ex.setText("spec.workload", spec.workload);
     ex.setText("spec.predictor", spec.predictor);
@@ -207,7 +252,39 @@ writeCellMetrics(const RunSpec &spec, const RunResult &result,
         ex.setReal("pipeline.ipc", p.ipc());
     }
 
-    return ex.writeJsonFile(metricsFilePath(spec.metricsDir, fp));
+    return ex;
+}
+
+/**
+ * The cell's observational outputs: capture the metrics document
+ * into the result (RunSpec::captureMetrics) and/or export it to a
+ * per-cell file (RunSpec::metricsDir). A cell that cannot write its
+ * file FAILS with IoError - a sweep that silently lost its
+ * measurements would be worse than one that failed loudly.
+ */
+Status
+finishCellOutputs(const RunSpec &spec, RunResult &result,
+                  PredictionEngine *engine)
+{
+    if (spec.metricsDir.empty() && !spec.captureMetrics)
+        return Status();
+    const MetricsExporter ex = buildCellMetrics(spec, result, engine);
+    if (spec.captureMetrics) {
+        std::ostringstream os;
+        ex.writeJson(os);
+        result.metricsJson = os.str();
+    }
+    if (!spec.metricsDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(spec.metricsDir, ec);
+        if (ec)
+            return Status(StatusCode::IoError,
+                          "cannot create metrics directory '" +
+                              spec.metricsDir + "': " + ec.message());
+        return ex.writeJsonFile(metricsFilePath(
+            spec.metricsDir, specFingerprint(spec)));
+    }
+    return Status();
 }
 
 } // anonymous namespace
@@ -359,8 +436,16 @@ SweepRunner::decodedFor(const RunSpec &spec,
 }
 
 RunResult
-SweepRunner::executeSpecGuarded(const RunSpec &spec)
+SweepRunner::executeSpecAttempt(const RunSpec &spec, unsigned attempt)
 {
+    if (spec.faultHook) {
+        Status injected = spec.faultHook(attempt);
+        if (!injected.ok()) {
+            RunResult result;
+            result.status = std::move(injected);
+            return result;
+        }
+    }
     try {
         return executeSpec(spec);
     } catch (const std::exception &e) {
@@ -371,6 +456,63 @@ SweepRunner::executeSpecGuarded(const RunSpec &spec)
                        e.what());
         return result;
     }
+}
+
+RunResult
+SweepRunner::executeSpecGuarded(const RunSpec &spec)
+{
+    // Cells owned by another shard are skipped in place: the grid keeps
+    // its positional layout (table builders index by position) and the
+    // cell reports Ok so reportFailures() stays quiet about it.
+    if (spec.shard.count > 1 &&
+        shardOf(specFingerprint(spec), spec.shard.count) !=
+            spec.shard.index) {
+        RunResult result;
+        result.skipped = true;
+        return result;
+    }
+
+    const unsigned max_attempts = std::max(1u, spec.maxAttempts);
+    RunResult result;
+    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+        result = executeSpecAttempt(spec, attempt);
+        result.attempts = attempt;
+        if (result.status.ok() ||
+            !retryableStatus(result.status.code()) ||
+            attempt == max_attempts) {
+            break;
+        }
+        pabp_warn("sweep cell (" + spec.workload + ", " + spec.predictor +
+                  ") attempt " + std::to_string(attempt) +
+                  " failed retryably: " + result.status.toString());
+        if (spec.retryBackoffMillis > 0) {
+            const std::uint64_t backoff =
+                static_cast<std::uint64_t>(spec.retryBackoffMillis)
+                << (attempt - 1);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff));
+        }
+    }
+    return result;
+}
+
+void
+SweepRunner::noteResumeFallback(const RunSpec &spec,
+                                const std::string &resume_file,
+                                const Status &status)
+{
+    pabp_warn("sweep cell (" + spec.workload + ", " + spec.predictor +
+              "): resume from '" + resume_file + "' failed (" +
+              status.toString() + "); falling back to a cold start");
+    std::lock_guard<std::mutex> lock(cacheMtx);
+    ++resumeFallbackCount;
+}
+
+std::uint64_t
+SweepRunner::resumeFallbacks() const
+{
+    std::lock_guard<std::mutex> lock(cacheMtx);
+    return resumeFallbackCount;
 }
 
 RunResult
@@ -418,13 +560,23 @@ SweepRunner::executeSpec(const RunSpec &spec)
             init(emu.state());
         DynInst dyn;
         std::uint64_t executed = 0;
+        CellDeadline deadline(spec.watchdogMillis);
+        std::uint64_t until_check =
+            deadline.slice(spec.heartbeatInsts, spec.maxInsts);
         while (executed < spec.maxInsts && emu.step(dyn)) {
             spec.observe(dyn);
             ++executed;
+            if (--until_check == 0) {
+                if (deadline.expired()) {
+                    result.status = deadline.status(spec, executed);
+                    return result;
+                }
+                until_check = deadline.slice(
+                    spec.heartbeatInsts, spec.maxInsts - executed);
+            }
         }
         result.engine.insts = executed;
-        if (!spec.metricsDir.empty())
-            result.status = writeCellMetrics(spec, result, nullptr);
+        result.status = finishCellOutputs(spec, result, nullptr);
         return result;
     }
 
@@ -464,8 +616,7 @@ SweepRunner::executeSpec(const RunSpec &spec)
         result.engine = engine.stats();
         result.pguBits = engine.pguBitsInserted();
         result.profile = engine.branchProfile();
-        if (!spec.metricsDir.empty())
-            result.status = writeCellMetrics(spec, result, &engine);
+        result.status = finishCellOutputs(spec, result, &engine);
         return result;
     }
 
@@ -484,7 +635,26 @@ SweepRunner::executeSpec(const RunSpec &spec)
             return result;
         }
         PredictionEngine engine(*owned, spec.engine);
-        engine.processBatch(*decoded.value(), 0, spec.maxInsts);
+        // Heartbeat-sliced batches: processBatch is exactly
+        // resumable at any event index, so chunking is unobservable
+        // in the results and only exists to let the watchdog check
+        // its deadline between slices.
+        const DecodedTrace &trace = *decoded.value();
+        CellDeadline deadline(spec.watchdogMillis);
+        std::uint64_t processed = 0;
+        while (processed < spec.maxInsts) {
+            const std::uint64_t chunk = deadline.slice(
+                spec.heartbeatInsts, spec.maxInsts - processed);
+            const std::uint64_t next =
+                engine.processBatch(trace, processed, chunk);
+            if (next == processed)
+                break; // trace exhausted before the budget
+            processed = next;
+            if (deadline.expired()) {
+                result.status = deadline.status(spec, processed);
+                return result;
+            }
+        }
         result.engine = engine.stats();
         result.pguBits = engine.pguBitsInserted();
         result.profile = engine.branchProfile();
@@ -492,8 +662,7 @@ SweepRunner::executeSpec(const RunSpec &spec)
             result.lookups = gshare->lookupCount();
             result.conflicts = gshare->conflictCount();
         }
-        if (!spec.metricsDir.empty())
-            result.status = writeCellMetrics(spec, result, &engine);
+        result.status = finishCellOutputs(spec, result, &engine);
         return result;
     }
 
@@ -530,6 +699,8 @@ SweepRunner::executeSpec(const RunSpec &spec)
         }
         if (resumeFallsBackToFresh(status)) {
             try_resume = false;
+            result.resumeFallback = true;
+            noteResumeFallback(spec, resume_file, status);
             // The predictor carries loaded state too; rebuild it the
             // same way the fresh path did.
             if (gshare) {
@@ -549,9 +720,23 @@ SweepRunner::executeSpec(const RunSpec &spec)
         return result;
     }
 
+    CellDeadline deadline(spec.watchdogMillis);
     if (spec.checkpointEvery == 0) {
-        runTrace(*emu, *engine,
-                 spec.maxInsts - std::min(done, spec.maxInsts));
+        const std::uint64_t budget =
+            spec.maxInsts - std::min(done, spec.maxInsts);
+        std::uint64_t ran_total = 0;
+        while (ran_total < budget) {
+            const std::uint64_t chunk =
+                deadline.slice(spec.heartbeatInsts, budget - ran_total);
+            const std::uint64_t ran = runTrace(*emu, *engine, chunk);
+            ran_total += ran;
+            if (ran < chunk)
+                break; // workload halted before the budget
+            if (deadline.expired()) {
+                result.status = deadline.status(spec, done + ran_total);
+                return result;
+            }
+        }
     } else {
         while (done < spec.maxInsts) {
             std::uint64_t chunk =
@@ -566,6 +751,10 @@ SweepRunner::executeSpec(const RunSpec &spec)
             }
             if (ran < chunk)
                 break; // workload halted before the budget
+            if (deadline.expired()) {
+                result.status = deadline.status(spec, done);
+                return result;
+            }
         }
     }
     result.engine = engine->stats();
@@ -575,8 +764,7 @@ SweepRunner::executeSpec(const RunSpec &spec)
         result.lookups = gshare->lookupCount();
         result.conflicts = gshare->conflictCount();
     }
-    if (!spec.metricsDir.empty())
-        result.status = writeCellMetrics(spec, result, &*engine);
+    result.status = finishCellOutputs(spec, result, &*engine);
     return result;
 }
 

@@ -51,6 +51,40 @@ namespace pabp::bench {
 /** Builds a Workload from an input seed (memory image + profile). */
 using WorkloadFactory = std::function<Workload(std::uint64_t seed)>;
 
+/**
+ * Deterministic fingerprint partitioning of a grid: cell @c fp
+ * belongs to shard `shardOf(fp, count)`. Because the assignment is a
+ * pure function of the spec fingerprint, any machine given the same
+ * grid and the same `i/N` computes the same cell set - no coordinator
+ * handshake, no shared state (docs/PARALLEL.md).
+ */
+struct ShardSpec
+{
+    std::uint32_t index = 0;
+    std::uint32_t count = 1;
+
+    bool operator==(const ShardSpec &) const = default;
+};
+
+/** Which shard owns the cell with fingerprint @p fingerprint. */
+constexpr std::uint32_t
+shardOf(std::uint64_t fingerprint, std::uint32_t count)
+{
+    return count > 1
+        ? static_cast<std::uint32_t>(fingerprint % count)
+        : 0;
+}
+
+/** Failure classes worth a bounded retry: transient environment
+ *  errors (a flaky filesystem under the metrics/checkpoint writes).
+ *  Everything else - bad specs, damaged artifacts, watchdog
+ *  deadlines - is deterministic and goes straight to quarantine. */
+constexpr bool
+retryableStatus(StatusCode code)
+{
+    return code == StatusCode::IoError;
+}
+
 /** What kind of simulation a cell runs. */
 enum class RunMode : std::uint8_t
 {
@@ -136,6 +170,55 @@ struct RunSpec
     /** Observe mode: called for every dynamic instruction. The
      *  closure's state is owned by this spec alone - one worker. */
     std::function<void(const DynInst &)> observe;
+
+    /**
+     * @name Robust-execution knobs (docs/ROBUSTNESS.md)
+     * Like the checkpoint/metrics knobs these are execution strategy,
+     * not behaviour, and are NOT part of specFingerprint().
+     * @{
+     */
+
+    /** Shard membership: when count > 1, a cell whose fingerprint
+     *  maps to another shard is SKIPPED (RunResult::skipped, ok
+     *  status, zero counters) so grids keep their index layout. */
+    ShardSpec shard;
+
+    /**
+     * Per-attempt wall-clock watchdog, milliseconds; 0 = off. The
+     * engine loops heartbeat every @ref heartbeatInsts instructions
+     * and check the deadline between slices, so a cell stuck in a
+     * pathological configuration (or a hung Observe closure) is
+     * reaped with StatusCode::DeadlineExceeded instead of stalling
+     * its worker forever. Covers Trace and Observe cells; a Timed
+     * cell runs the cycle-level pipeline in one shot and is bounded
+     * by its instruction budget alone.
+     */
+    std::uint32_t watchdogMillis = 0;
+    /** Instructions between watchdog checks (the heartbeat grain).
+     *  Chunking is unobservable in the results - the engine loops
+     *  are exactly resumable - so this only trades check latency
+     *  against loop overhead. */
+    std::uint64_t heartbeatInsts = 1u << 16;
+
+    /** Total tries for a cell whose failure is retryableStatus();
+     *  1 = no retry. Each attempt rebuilds all per-run state. */
+    unsigned maxAttempts = 1;
+    /** Deterministic backoff before attempt k+1:
+     *  retryBackoffMillis << (k-1) milliseconds. */
+    std::uint32_t retryBackoffMillis = 0;
+
+    /** Test-only fault injection: called at the start of every
+     *  attempt; a non-Ok return fails that attempt with exactly that
+     *  status (how the retry/quarantine tests simulate transient
+     *  environment failures). */
+    std::function<Status(unsigned attempt)> faultHook;
+
+    /** Capture the cell's full metrics document (the same byte-stable
+     *  JSON --metrics-dir would write) into RunResult::metricsJson,
+     *  without touching the filesystem - the sweep service journals
+     *  these bytes instead of scattering per-cell files. */
+    bool captureMetrics = false;
+    /** @} */
 };
 
 /** What one cell produced. */
@@ -151,6 +234,20 @@ struct RunResult
     std::uint64_t numRegions = 0;        ///< static regions compiled
     std::uint64_t numRegionBranches = 0; ///< static side exits
     bool resumed = false; ///< continued from a matching checkpoint
+    /** Resume was requested but fell back to a cold start (missing or
+     *  configuration-mismatched checkpoint). Counted per runner in
+     *  SweepRunner::resumeFallbacks() and warned about - a silently
+     *  cold-started cell must be distinguishable from a fresh run. */
+    bool resumeFallback = false;
+    /** Cell belongs to another shard (RunSpec::shard) and did not
+     *  execute; status is Ok and every counter is zero. */
+    bool skipped = false;
+    /** Attempts consumed (1 = first try succeeded or failed
+     *  terminally; >1 = retries happened). */
+    unsigned attempts = 1;
+    /** RunSpec::captureMetrics output: the cell's metrics document,
+     *  byte-identical to what --metrics-dir would have written. */
+    std::string metricsJson;
 };
 
 /**
@@ -204,12 +301,23 @@ class SweepRunner
     CacheStats cacheStats() const;
     unsigned effectiveJobs() const { return jobs; }
 
+    /** Cells that requested a resume but cold-started instead (the
+     *  "sweep.resume_fallbacks" stat; see RunResult::resumeFallback). */
+    std::uint64_t resumeFallbacks() const;
+
   private:
     using ProgramHandle = std::shared_ptr<const CompiledProgram>;
     using TraceHandle = std::shared_ptr<const DecodedTrace>;
 
     RunResult executeSpec(const RunSpec &spec);
+    /** One try: fault hook, then executeSpec under the exception
+     *  backstop. */
+    RunResult executeSpecAttempt(const RunSpec &spec, unsigned attempt);
+    /** Shard filter + bounded retry loop around executeSpecAttempt. */
     RunResult executeSpecGuarded(const RunSpec &spec);
+    void noteResumeFallback(const RunSpec &spec,
+                            const std::string &resume_file,
+                            const Status &status);
     Expected<ProgramHandle> compiledFor(const RunSpec &spec);
     /** The decoded-trace analogue of compiledFor(): the first
      *  requester of a (program, measurement seed, budget) key records
@@ -225,6 +333,7 @@ class SweepRunner
     std::map<std::string, std::shared_future<ProgramHandle>> cache;
     std::map<std::string, std::shared_future<TraceHandle>> traceCache;
     CacheStats stats;
+    std::uint64_t resumeFallbackCount = 0;
 };
 
 /**

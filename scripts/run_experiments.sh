@@ -103,6 +103,75 @@ test "${PIPESTATUS[0]}" -eq 0
     fi
 } 2>&1 | tee -a bench_output.txt
 
+# --- Metrics packing (docs/OBSERVABILITY.md) -------------------------
+# Consolidate each binary's loose per-cell metrics files into one
+# journal per binary (<METRICS_DIR>/<binary>.pabpj) so a full run
+# leaves a handful of queryable artifacts instead of hundreds of JSON
+# files. The perf-smoke directories stay loose: their job is the
+# byte-compare above, not archival.
+{
+    echo "== metrics packing =="
+    packed=0
+    for dir in "$METRICS_DIR"/*/; do
+        name=$(basename "$dir")
+        case "$name" in
+            perf_smoke_*) continue ;;
+        esac
+        if ! ls "$dir"/pabp-metrics-*.json >/dev/null 2>&1; then
+            continue
+        fi
+        if ! build/tools/pabp-stats --pack "$dir" \
+            "$METRICS_DIR/$name.pabpj" > /dev/null; then
+            echo "FAILED: pabp-stats --pack $dir"
+        else
+            packed=$((packed + 1))
+        fi
+    done
+    echo "metrics packing: $packed journal(s) under $METRICS_DIR"
+} 2>&1 | tee -a bench_output.txt
+
+# --- Crash-safety smoke (docs/ROBUSTNESS.md) -------------------------
+# The journal convergence guarantee, end to end against a real SIGKILL:
+# run a small campaign cleanly, run the same campaign again but kill -9
+# the service at a seeded-random moment, re-invoke it to completion,
+# and require the two journals to match BYTE FOR BYTE. CRASH_SEED pins
+# the kill timing for reproducibility; vary it to probe new interleavings.
+CRASH_SEED=${CRASH_SEED:-7}
+{
+    echo "== crash safety: SIGKILL + resume convergence (seed $CRASH_SEED) =="
+    crash_dir=results/crash-smoke
+    rm -rf "$crash_dir"
+    mkdir -p "$crash_dir"
+    # 40 cells x 500k insts: long enough (~0.3s) that a kill inside
+    # the delay window below usually lands mid-campaign.
+    sweepd_args=(--configs base,sfpf,pgu,both --steps 500000
+                 --jobs 2 --batch-cells 1)
+    build/tools/pabp-sweepd "${sweepd_args[@]}" \
+        --journal "$crash_dir/clean.pabpj" > /dev/null
+
+    RANDOM=$CRASH_SEED
+    delay=$((RANDOM % 300))
+    build/tools/pabp-sweepd "${sweepd_args[@]}" \
+        --journal "$crash_dir/killed.pabpj" > /dev/null &
+    victim=$!
+    sleep "0.$(printf '%03d' "$delay")"
+    kill -9 "$victim" 2>/dev/null || true
+    wait "$victim" 2>/dev/null || true
+
+    if ! build/tools/pabp-sweepd "${sweepd_args[@]}" \
+        --journal "$crash_dir/killed.pabpj"; then
+        echo "FAILED: crash safety: resumed pabp-sweepd did not drain"
+    elif ! cmp -s "$crash_dir/clean.pabpj" "$crash_dir/killed.pabpj"; then
+        echo "FAILED: crash safety: killed+resumed journal differs" \
+             "from the clean run's"
+        build/tools/pabp-stats "$crash_dir/clean.pabpj" \
+            "$crash_dir/killed.pabpj" || true
+    else
+        echo "crash safety: journals byte-identical after SIGKILL at" \
+             "${delay}ms + resume"
+    fi
+} 2>&1 | tee -a bench_output.txt
+
 # --- Fuzz stage (docs/FUZZING.md) ------------------------------------
 # Deterministic differential testing: replay the committed corpus,
 # prove the harness still catches the re-introduced PR-4 clamp bug,

@@ -23,11 +23,12 @@ cmake -B "$BUILD_DIR" -G Ninja -DPABP_SANITIZE=ON
 cmake --build "$BUILD_DIR"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-# Fuzz stage under ASan/UBSan (docs/FUZZING.md): the trace-corruption
-# oracle feeds bit-flipped and truncated PABPTRC2 bytes to both the
-# strict and the salvage readers - exactly the inputs where an
-# out-of-bounds read would hide without sanitizers. Fixed seeds keep
-# the stage deterministic; any divergence or sanitizer report fails.
+# Fuzz stage under ASan/UBSan (docs/FUZZING.md): the trace- and
+# journal-corruption oracles feed bit-flipped and truncated PABPTRC2 /
+# PABPJRN1 bytes to both the strict and the salvage readers - exactly
+# the inputs where an out-of-bounds read would hide without
+# sanitizers. Fixed seeds keep the stage deterministic; any divergence
+# or sanitizer report fails.
 FUZZ_RUNS=${FUZZ_RUNS:-25}
 FUZZ_SEED=${FUZZ_SEED:-1}
 "$BUILD_DIR"/tools/pabp-fuzz --replay-dir tests/corpus \
@@ -40,6 +41,9 @@ if [ "${PABP_SKIP_TSAN:-0}" != "1" ]; then
     TSAN_DIR=${TSAN_DIR:-build-tsan}
     cmake -B "$TSAN_DIR" -G Ninja -DPABP_TSAN=ON
     cmake --build "$TSAN_DIR" --target pabp_tests
+    # 'Sweep' also picks up the SweepService campaign tests (journal
+    # commits from the coordinator while workers run); 'Journal'
+    # covers the journal unit tests themselves.
     ctest --test-dir "$TSAN_DIR" --output-on-failure \
-        -R 'ThreadPool|Sweep|Stats|Metrics'
+        -R 'ThreadPool|Sweep|Stats|Metrics|Journal'
 fi

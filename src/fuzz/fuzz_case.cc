@@ -10,7 +10,8 @@ namespace {
 
 const Oracle oracleList[] = {Oracle::IfConvert, Oracle::Pipeline,
                              Oracle::Replay, Oracle::Checkpoint,
-                             Oracle::Trace, Oracle::Sweep};
+                             Oracle::Trace, Oracle::Sweep,
+                             Oracle::Journal};
 
 Expected<std::uint64_t>
 parseU64(const std::string &key, const std::string &text)
@@ -68,6 +69,7 @@ oracleName(Oracle oracle)
       case Oracle::Checkpoint: return "checkpoint";
       case Oracle::Trace: return "trace";
       case Oracle::Sweep: return "sweep";
+      case Oracle::Journal: return "journal";
     }
     return "unknown";
 }

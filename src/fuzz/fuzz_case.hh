@@ -35,9 +35,10 @@ enum class Oracle : unsigned
     Checkpoint = 1u << 3, ///< mid-trace save/resume vs straight-through
     Trace = 1u << 4,      ///< corrupt PABPTRC2: typed error or salvage
     Sweep = 1u << 5,      ///< SweepRunner cell fast vs reference
+    Journal = 1u << 6,    ///< corrupt PABPJRN1: typed error or salvage
 };
 
-constexpr unsigned allOracles = 0x3f;
+constexpr unsigned allOracles = 0x7f;
 
 /** Stable lower-case oracle name ("ifconvert", "replay", ...). */
 const char *oracleName(Oracle oracle);

@@ -11,6 +11,7 @@
 #include "sim/decoded_trace.hh"
 #include "sim/trace_io.hh"
 #include "sweep.hh"
+#include "util/journal.hh"
 #include "util/metrics.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
@@ -501,6 +502,159 @@ oracleSweep(const FuzzCase &c, CaseContext &ctx)
     return {};
 }
 
+// ---------------------------------------------------------------------
+// Oracle 7: corrupted results-journal robustness (the PABPJRN1
+// mirror of the trace oracle; util/journal.hh).
+
+/** Deterministic journal image synthesised from the case seed - the
+ *  journal's content does not depend on simulation, so the oracle
+ *  fabricates records instead of running cells. */
+std::string
+synthesizeJournal(const FuzzCase &c,
+                  std::vector<JournalRecord> &records)
+{
+    Rng rng(c.seed ^ 0x9a11);
+    const unsigned count = 2 + static_cast<unsigned>(rng.below(5));
+    records.clear();
+    for (unsigned i = 0; i < count; ++i) {
+        JournalRecord rec;
+        rec.kind = rng.below(4) == 0 ? JournalRecord::Kind::Quarantine
+                                     : JournalRecord::Kind::Result;
+        rec.fingerprint = rng.next();
+        rec.attempts = 1 + static_cast<std::uint32_t>(rng.below(3));
+        rec.statusCode = rec.kind == JournalRecord::Kind::Quarantine
+            ? static_cast<std::uint8_t>(StatusCode::Corrupt)
+            : 0;
+        for (unsigned col = 0; col < 6; ++col)
+            rec.columns.push_back(rng.next());
+        rec.blob = rec.kind == JournalRecord::Kind::Quarantine
+            ? std::string("synthetic quarantine ") + std::to_string(i)
+            : std::string("{\"cell\":") + std::to_string(i) + "}";
+        records.push_back(rec);
+    }
+    std::ostringstream os;
+    writeJournalHeader(os, JournalHeader{});
+    for (const JournalRecord &rec : records)
+        appendJournalRecord(os, rec);
+    return os.str();
+}
+
+Status
+checkCorruptedJournal(const std::vector<JournalRecord> &original,
+                      const std::string &bytes, const CorruptSpec &spec,
+                      const RunEnv &env, const FuzzCase &c)
+{
+    auto describe = [&spec]() {
+        return std::to_string(spec.flips) + " flip(s), truncate " +
+            std::to_string(spec.truncate) + ", rng seed " +
+            std::to_string(spec.rngSeed);
+    };
+
+    // Strict read: a typed error, or - if the corruption was
+    // undetectable - identical records.
+    {
+        Expected<std::vector<JournalRecord>> strict =
+            readJournalImage(bytes);
+        if (strict.ok() && !(strict.value() == original))
+            return diverged("strict read of a corrupted journal "
+                            "returned Ok with DIFFERENT records (" +
+                            describe() + ")");
+    }
+
+    // Salvage read: a typed error (header damage), or a prefix of
+    // the original records.
+    {
+        JournalReadOptions opts;
+        opts.salvage = true;
+        JournalReadInfo info;
+        Expected<std::vector<JournalRecord>> salvaged =
+            readJournalImage(bytes, opts, nullptr, &info);
+        if (salvaged.ok()) {
+            const std::vector<JournalRecord> &s = salvaged.value();
+            if (s.size() > original.size())
+                return diverged("journal salvage returned MORE "
+                                "records than were written (" +
+                                describe() + ")");
+            for (std::size_t i = 0; i < s.size(); ++i)
+                if (!(s[i] == original[i]))
+                    return diverged(
+                        "salvaged journal record " +
+                        std::to_string(i) +
+                        " is not a prefix of the original (" +
+                        describe() + ")");
+        }
+    }
+
+    // Writer adoption: open() on the damaged file either fails with
+    // a typed error or truncates to a valid prefix - and a second
+    // open sees exactly what the first left behind (idempotence).
+    char fp[17];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(
+                      configFingerprint(c.gen) ^ c.seed));
+    const std::string path =
+        env.scratchDir + "/pabp-fuzz-" + fp + ".pabpj";
+    PABP_TRY(atomicWriteFile(path, bytes));
+    std::vector<JournalRecord> first_seen;
+    Expected<JournalWriter> first =
+        JournalWriter::open(path, JournalHeader{}, &first_seen);
+    Status verdict;
+    if (first.ok()) {
+        first.value().close();
+        if (first_seen.size() > original.size()) {
+            verdict = diverged("JournalWriter::open adopted MORE "
+                               "records than were written (" +
+                               describe() + ")");
+        } else {
+            std::vector<JournalRecord> second_seen;
+            Expected<JournalWriter> second =
+                JournalWriter::open(path, JournalHeader{},
+                                    &second_seen);
+            if (!second.ok()) {
+                verdict = diverged(
+                    "journal re-open after salvage truncation "
+                    "failed: " + second.status().toString() + " (" +
+                    describe() + ")");
+            } else {
+                second.value().close();
+                if (!(second_seen == first_seen))
+                    verdict = diverged(
+                        "journal salvage truncation is not "
+                        "idempotent (" + describe() + ")");
+            }
+        }
+    }
+    std::remove(path.c_str());
+    return verdict;
+}
+
+Status
+oracleJournal(const FuzzCase &c, const RunEnv &env)
+{
+    std::vector<JournalRecord> records;
+    const std::string bytes = synthesizeJournal(c, records);
+
+    std::vector<CorruptSpec> schedule;
+    if (c.corruptFlips > 0 || c.corruptTruncate > 0) {
+        schedule.push_back(
+            {c.corruptFlips, c.corruptSeed, c.corruptTruncate});
+    } else {
+        // Mirror of the trace oracle's default schedule: single flip,
+        // burst, tail truncation, and both at once.
+        std::uint64_t s = c.seed ^ 0x77ace;
+        schedule.push_back({1, s + 1, 0});
+        schedule.push_back({3, s + 2, 0});
+        schedule.push_back(
+            {0, s + 3,
+             static_cast<unsigned>(1 + bytes.size() / 8)});
+        schedule.push_back({1, s + 4, 7});
+    }
+    for (const CorruptSpec &spec : schedule)
+        PABP_TRY(checkCorruptedJournal(records, corrupt(bytes, spec),
+                                       spec, env, c));
+    return {};
+}
+
 Status
 runOracleWith(Oracle oracle, const FuzzCase &c, const RunEnv &env,
               CaseContext &ctx)
@@ -512,6 +666,7 @@ runOracleWith(Oracle oracle, const FuzzCase &c, const RunEnv &env,
       case Oracle::Checkpoint: return oracleCheckpoint(c, ctx, env);
       case Oracle::Trace: return oracleTrace(c, ctx);
       case Oracle::Sweep: return oracleSweep(c, ctx);
+      case Oracle::Journal: return oracleJournal(c, env);
     }
     return statusError(StatusCode::InvalidArgument,
                        "unknown oracle id");
@@ -545,7 +700,8 @@ runCase(const FuzzCase &fuzz_case, const RunEnv &env)
     CaseOutcome outcome;
     const Oracle order[] = {Oracle::IfConvert, Oracle::Pipeline,
                             Oracle::Replay, Oracle::Checkpoint,
-                            Oracle::Trace, Oracle::Sweep};
+                            Oracle::Trace, Oracle::Sweep,
+                            Oracle::Journal};
     for (Oracle o : order) {
         if (!(fuzz_case.oracles & static_cast<unsigned>(o)))
             continue;

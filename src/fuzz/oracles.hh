@@ -23,6 +23,10 @@
  *              silently different events.
  *  sweep:      SweepRunner::runOne on the generated workload agrees
  *              between --fast-replay and the reference cell loop.
+ *  journal:    bit-flipped / truncated PABPJRN1 results-journal bytes
+ *              produce a typed Status or a valid salvage prefix, and
+ *              JournalWriter::open truncates the damage idempotently -
+ *              never a crash, never silently different records.
  *
  * A divergence is reported as a FuzzReport with a descriptive Status;
  * setup problems (unknown predictor kind, unwritable scratch dir) are

@@ -38,6 +38,7 @@ enum class StatusCode : std::uint8_t
     InvalidArgument,  ///< caller-supplied value out of contract
     NotFound,         ///< named entity does not exist
     Unsupported,      ///< valid request this build cannot honour
+    DeadlineExceeded, ///< watchdog reaped a run that overran its budget
 };
 
 /** Stable name for a status code ("Truncated", ...). */
@@ -56,6 +57,7 @@ statusCodeName(StatusCode code)
       case StatusCode::InvalidArgument: return "InvalidArgument";
       case StatusCode::NotFound: return "NotFound";
       case StatusCode::Unsupported: return "Unsupported";
+      case StatusCode::DeadlineExceeded: return "DeadlineExceeded";
     }
     return "Unknown";
 }

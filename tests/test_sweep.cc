@@ -21,13 +21,17 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sweep.hh"
+#include "sweep_service.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
@@ -441,6 +445,349 @@ TEST(SweepCheckpoint, ResumeMatchesUninterruptedRun)
 
     std::remove(half_path.c_str());
     std::remove(full_path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Robust execution layer: shard filter, retry, watchdog, fallback
+// accounting (the RunSpec robustness knobs).
+
+TEST(SweepRobustness, ShardsPartitionTheGridDisjointly)
+{
+    const std::vector<RunSpec> grid = smallGrid(5000);
+    constexpr std::uint32_t shards = 3;
+
+    // Pure-function partition: every fingerprint is owned by exactly
+    // one shard, computable without running anything.
+    for (const RunSpec &spec : grid) {
+        const std::uint64_t fp = specFingerprint(spec);
+        unsigned owners = 0;
+        for (std::uint32_t s = 0; s < shards; ++s)
+            owners += shardOf(fp, shards) == s ? 1 : 0;
+        EXPECT_EQ(owners, 1u);
+    }
+
+    // Through the runner: non-owned cells are skipped IN PLACE (grid
+    // layout preserved, Ok status); owned cells match the unsharded
+    // run bit for bit.
+    SweepRunner plain_runner(SweepRunner::Config{2, 0});
+    const std::vector<RunResult> plain = plain_runner.run(grid);
+    std::size_t executed_total = 0;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        std::vector<RunSpec> sharded = grid;
+        for (RunSpec &spec : sharded)
+            spec.shard = ShardSpec{s, shards};
+        SweepRunner runner(SweepRunner::Config{2, 0});
+        const std::vector<RunResult> results = runner.run(sharded);
+        ASSERT_EQ(results.size(), grid.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            EXPECT_TRUE(results[i].status.ok());
+            const bool owned =
+                shardOf(specFingerprint(grid[i]), shards) == s;
+            EXPECT_EQ(results[i].skipped, !owned);
+            if (owned) {
+                ++executed_total;
+                EXPECT_EQ(results[i].engine, plain[i].engine);
+            } else {
+                EXPECT_EQ(results[i].engine.insts, 0u);
+            }
+        }
+    }
+    EXPECT_EQ(executed_total, grid.size());
+}
+
+TEST(SweepRobustness, RetryableFailuresAreRetriedBoundedly)
+{
+    RunSpec spec;
+    spec.workload = "bsort";
+    spec.maxInsts = 3000;
+    spec.maxAttempts = 3;
+    // Transient environment failure: the first two attempts die with
+    // IoError, the third succeeds.
+    spec.faultHook = [](unsigned attempt) {
+        return attempt < 3
+            ? Status(StatusCode::IoError, "injected transient failure")
+            : Status();
+    };
+    SweepRunner runner(SweepRunner::Config{1, 0});
+    RunResult healed = runner.runOne(spec);
+    EXPECT_TRUE(healed.status.ok()) << healed.status.toString();
+    EXPECT_EQ(healed.attempts, 3u);
+
+    // The attempt budget is a hard bound.
+    spec.maxAttempts = 2;
+    RunResult exhausted = runner.runOne(spec);
+    EXPECT_EQ(exhausted.status.code(), StatusCode::IoError);
+    EXPECT_EQ(exhausted.attempts, 2u);
+
+    // Deterministic failures do not burn retries.
+    spec.maxAttempts = 3;
+    spec.faultHook = [](unsigned) {
+        return Status(StatusCode::Corrupt, "poisoned cell");
+    };
+    RunResult poisoned = runner.runOne(spec);
+    EXPECT_EQ(poisoned.status.code(), StatusCode::Corrupt);
+    EXPECT_EQ(poisoned.attempts, 1u);
+}
+
+/** An Observe-mode cell whose per-instruction closure sleeps: the
+ *  watchdog must reap it instead of letting it run its (wall-clock
+ *  enormous) budget out. */
+RunSpec
+hungObserveSpec()
+{
+    RunSpec spec;
+    spec.workload = "bsort";
+    spec.mode = RunMode::Observe;
+    spec.maxInsts = 200000;
+    spec.observe = [](const DynInst &) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    };
+    spec.watchdogMillis = 25;
+    spec.heartbeatInsts = 4;
+    return spec;
+}
+
+TEST(SweepRobustness, WatchdogReapsAnOverrunningCell)
+{
+    SweepRunner runner(SweepRunner::Config{1, 0});
+    RunResult result = runner.runOne(hungObserveSpec());
+    EXPECT_EQ(result.status.code(), StatusCode::DeadlineExceeded);
+    // The message is deliberately wall-clock-free: it lands in
+    // quarantine journal records whose bytes must converge.
+    EXPECT_EQ(result.status.message().find("after"), std::string::npos);
+}
+
+TEST(SweepRobustness, ResumeFallbackIsFlaggedAndCounted)
+{
+    RunSpec spec;
+    spec.workload = "bsort";
+    spec.maxInsts = 3000;
+    spec.resumePath = tempPath("never-written.ckpt");
+    SweepRunner runner(SweepRunner::Config{1, 0});
+    EXPECT_EQ(runner.resumeFallbacks(), 0u);
+    RunResult result = runner.runOne(spec);
+    ASSERT_TRUE(result.status.ok()) << result.status.toString();
+    EXPECT_FALSE(result.resumed);
+    EXPECT_TRUE(result.resumeFallback);
+    EXPECT_EQ(runner.resumeFallbacks(), 1u);
+}
+
+TEST(SweepRobustness, CapturedMetricsMatchExportedFile)
+{
+    const std::string dir = tempPath("metricsdir");
+    RunSpec spec;
+    spec.workload = "bsort";
+    spec.maxInsts = 3000;
+    spec.metricsDir = dir;
+    spec.captureMetrics = true;
+    SweepRunner runner(SweepRunner::Config{1, 0});
+    RunResult result = runner.runOne(spec);
+    ASSERT_TRUE(result.status.ok()) << result.status.toString();
+    ASSERT_FALSE(result.metricsJson.empty());
+
+    std::ifstream in(metricsFilePath(dir, specFingerprint(spec)),
+                     std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::ostringstream file_bytes;
+    file_bytes << in.rdbuf();
+    EXPECT_EQ(result.metricsJson, file_bytes.str());
+}
+
+// ---------------------------------------------------------------------
+// SweepService: the crash-safe campaign coordinator
+// (bench/sweep_service.hh).
+
+std::string
+readBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+ServiceConfig
+serviceConfig(const std::string &journal)
+{
+    ServiceConfig config;
+    config.journalPath = journal;
+    config.batchCells = 2; // small batches: more commit boundaries
+    return config;
+}
+
+TEST(SweepService, DrainsAGridIntoTheJournal)
+{
+    const std::string journal = tempPath("drain.pabpj");
+    const std::vector<RunSpec> grid = smallGrid(4000);
+    SweepRunner runner(SweepRunner::Config{2, 0});
+    SweepService service(runner, serviceConfig(journal));
+    Expected<ServiceReport> report = service.runShard(grid);
+    ASSERT_TRUE(report.ok()) << report.status().toString();
+    EXPECT_TRUE(report.value().drained);
+    EXPECT_EQ(report.value().ownedCells, grid.size());
+    EXPECT_EQ(report.value().executed, grid.size());
+    EXPECT_EQ(report.value().quarantined, 0u);
+
+    Expected<std::vector<JournalRecord>> records =
+        readJournalFile(journal);
+    ASSERT_TRUE(records.ok()) << records.status().toString();
+    ASSERT_EQ(records.value().size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_EQ(records.value()[i].fingerprint,
+                  specFingerprint(grid[i]));
+        EXPECT_EQ(records.value()[i].kind, JournalRecord::Kind::Result);
+        EXPECT_FALSE(records.value()[i].blob.empty());
+    }
+    std::remove(journal.c_str());
+}
+
+TEST(SweepService, KillAndResumeConvergeToIdenticalJournalBytes)
+{
+    const std::vector<RunSpec> grid = smallGrid(4000);
+
+    // Reference: one uninterrupted single-threaded campaign.
+    const std::string clean = tempPath("clean.pabpj");
+    {
+        SweepRunner runner(SweepRunner::Config{1, 0});
+        SweepService service(runner, serviceConfig(clean));
+        Expected<ServiceReport> report = service.runShard(grid);
+        ASSERT_TRUE(report.ok()) << report.status().toString();
+        ASSERT_TRUE(report.value().drained);
+    }
+
+    // The same campaign killed twice mid-flight (the stopAfter hook
+    // models SIGKILL between record commits), then re-invoked to
+    // completion - at a different worker count for good measure.
+    const std::string bumpy = tempPath("bumpy.pabpj");
+    const std::uint64_t stops[] = {2, 3, 0};
+    for (std::uint64_t stop : stops) {
+        SweepRunner runner(SweepRunner::Config{stop ? 1u : 8u, 0});
+        ServiceConfig config = serviceConfig(bumpy);
+        config.stopAfter = stop;
+        SweepService service(runner, config);
+        Expected<ServiceReport> report = service.runShard(grid);
+        ASSERT_TRUE(report.ok()) << report.status().toString();
+        EXPECT_EQ(report.value().stopped, stop != 0);
+        EXPECT_EQ(report.value().drained, stop == 0);
+    }
+
+    EXPECT_EQ(readBytes(bumpy), readBytes(clean));
+    std::remove(clean.c_str());
+    std::remove(bumpy.c_str());
+}
+
+TEST(SweepService, QuarantinesPoisonCellsAndStillDrains)
+{
+    std::vector<RunSpec> grid = smallGrid(4000);
+    grid[4].faultHook = [](unsigned) {
+        return Status(StatusCode::Corrupt, "poisoned cell");
+    };
+
+    const std::string journal = tempPath("poison.pabpj");
+    SweepRunner runner(SweepRunner::Config{2, 0});
+    SweepService service(runner, serviceConfig(journal));
+    Expected<ServiceReport> report = service.runShard(grid);
+    ASSERT_TRUE(report.ok()) << report.status().toString();
+    EXPECT_TRUE(report.value().drained);
+    EXPECT_EQ(report.value().quarantined, 1u);
+    const std::string first_bytes = readBytes(journal);
+
+    Expected<std::vector<JournalRecord>> records =
+        readJournalFile(journal);
+    ASSERT_TRUE(records.ok());
+    ASSERT_EQ(records.value().size(), grid.size());
+    EXPECT_EQ(records.value()[4].kind, JournalRecord::Kind::Quarantine);
+    EXPECT_EQ(records.value()[4].statusCode,
+              static_cast<std::uint8_t>(StatusCode::Corrupt));
+    EXPECT_NE(records.value()[4].blob.find("poisoned cell"),
+              std::string::npos);
+
+    // Re-invoking re-runs ONLY the quarantined cell; the
+    // deterministic failure re-quarantines, and the drain compaction
+    // converges back to the same bytes.
+    Expected<ServiceReport> again = service.runShard(grid);
+    ASSERT_TRUE(again.ok()) << again.status().toString();
+    EXPECT_EQ(again.value().alreadyDone, grid.size() - 1);
+    EXPECT_EQ(again.value().executed, 1u);
+    EXPECT_EQ(again.value().quarantined, 1u);
+    EXPECT_EQ(readBytes(journal), first_bytes);
+    std::remove(journal.c_str());
+}
+
+TEST(SweepService, WatchdogQuarantineDoesNotStallTheShard)
+{
+    std::vector<RunSpec> grid = smallGrid(4000);
+    grid.push_back(hungObserveSpec());
+
+    const std::string journal = tempPath("hung.pabpj");
+    SweepRunner runner(SweepRunner::Config{2, 0});
+    SweepService service(runner, serviceConfig(journal));
+    Expected<ServiceReport> report = service.runShard(grid);
+    ASSERT_TRUE(report.ok()) << report.status().toString();
+    EXPECT_TRUE(report.value().drained);
+    EXPECT_EQ(report.value().quarantined, 1u);
+
+    Expected<std::vector<JournalRecord>> records =
+        readJournalFile(journal);
+    ASSERT_TRUE(records.ok());
+    ASSERT_EQ(records.value().size(), grid.size());
+    EXPECT_EQ(records.value().back().kind,
+              JournalRecord::Kind::Quarantine);
+    EXPECT_EQ(records.value().back().statusCode,
+              static_cast<std::uint8_t>(StatusCode::DeadlineExceeded));
+    for (std::size_t i = 0; i + 1 < records.value().size(); ++i)
+        EXPECT_EQ(records.value()[i].kind, JournalRecord::Kind::Result);
+    std::remove(journal.c_str());
+}
+
+TEST(SweepService, ShardJournalsTogetherCoverTheGridExactlyOnce)
+{
+    const std::vector<RunSpec> grid = smallGrid(4000);
+    constexpr std::uint32_t shards = 2;
+    std::map<std::uint64_t, unsigned> coverage;
+    std::uint64_t owned_total = 0;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        const std::string journal =
+            deriveShardJournalPath(tempPath("cover.pabpj"),
+                                   ShardSpec{s, shards});
+        ServiceConfig config = serviceConfig(journal);
+        config.shard = ShardSpec{s, shards};
+        SweepRunner runner(SweepRunner::Config{2, 0});
+        SweepService service(runner, config);
+        Expected<ServiceReport> report = service.runShard(grid);
+        ASSERT_TRUE(report.ok()) << report.status().toString();
+        EXPECT_TRUE(report.value().drained);
+        owned_total += report.value().ownedCells;
+
+        JournalHeader header;
+        Expected<std::vector<JournalRecord>> records =
+            readJournalFile(journal, {}, &header);
+        ASSERT_TRUE(records.ok());
+        EXPECT_EQ(header.shardIndex, s);
+        EXPECT_EQ(header.shardCount, shards);
+        for (const JournalRecord &rec : records.value())
+            ++coverage[rec.fingerprint];
+        std::remove(journal.c_str());
+    }
+    EXPECT_EQ(owned_total, grid.size());
+    EXPECT_EQ(coverage.size(), grid.size());
+    for (const RunSpec &spec : grid) {
+        auto it = coverage.find(specFingerprint(spec));
+        ASSERT_NE(it, coverage.end());
+        EXPECT_EQ(it->second, 1u);
+    }
+}
+
+TEST(SweepService, DeriveShardJournalPathNamesShards)
+{
+    EXPECT_EQ(deriveShardJournalPath("results/e6.pabpj", {0, 1}),
+              "results/e6.pabpj");
+    EXPECT_EQ(deriveShardJournalPath("results/e6.pabpj", {2, 4}),
+              "results/e6-shard2of4.pabpj");
+    EXPECT_EQ(deriveShardJournalPath("plain", {1, 2}),
+              "plain-shard1of2");
+    EXPECT_EQ(deriveShardJournalPath("dir.d/plain", {1, 2}),
+              "dir.d/plain-shard1of2");
 }
 
 } // namespace
