@@ -69,8 +69,34 @@ test "${PIPESTATUS[0]}" -eq 0
 #     through tools/pabp-stats and fails the run.
 {
     echo "== perf smoke: replay-loop throughput =="
+    # Regression gate: read the checked-in record's +both minimum
+    # speedup BEFORE overwriting it, then fail if the fresh run comes
+    # in more than 10% below it. Older records predate the per-config
+    # key, so fall back to the all-config minimum; with no record at
+    # all the fresh run just establishes the baseline.
+    json_metric() {
+        # Escape only dots: in sed BRE a backslashed '+' would turn
+        # into the GNU one-or-more operator, not a literal.
+        sed -n "s/.*\"$(printf '%s' "$2" | sed 's/\./\\./g')\": \([0-9.eE+-]*\),*/\1/p" "$1" 2>/dev/null | head -1
+    }
+    baseline_both=$(json_metric BENCH_replay.json replay.min_speedup.both)
+    if [ -z "$baseline_both" ]; then
+        baseline_both=$(json_metric BENCH_replay.json replay.min_speedup)
+    fi
     build/bench/bench_replay_hot --steps 500000 \
         --out BENCH_replay.json
+    new_both=$(json_metric BENCH_replay.json replay.min_speedup.both)
+    if [ -n "$baseline_both" ] && [ -n "$new_both" ]; then
+        if awk -v n="$new_both" -v b="$baseline_both" \
+            'BEGIN { exit !(n < 0.9 * b) }'; then
+            echo "FAILED: perf smoke: +both min speedup $new_both" \
+                 "regressed >10% below the checked-in baseline" \
+                 "$baseline_both"
+        else
+            echo "perf smoke: +both min speedup $new_both" \
+                 "(checked-in baseline $baseline_both)"
+        fi
+    fi
 
     echo "== perf smoke: fast-vs-reference metric bytes (E6) =="
     fast_dir=$METRICS_DIR/perf_smoke_fast

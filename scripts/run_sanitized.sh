@@ -37,13 +37,31 @@ FUZZ_SEED=${FUZZ_SEED:-1}
 "$BUILD_DIR"/tools/pabp-fuzz --runs "$FUZZ_RUNS" --seed "$FUZZ_SEED" \
     --scratch-dir "$BUILD_DIR"
 
+# SIMD kernels under ASan/UBSan at BOTH dispatch tiers (util/simd.hh):
+# the AVX2 scan kernels read the class lane in 32-byte vectors with
+# scalar tail handling, and the perceptron kernels stride int16 rows -
+# exactly the code where an off-by-one would read past a buffer
+# without tripping anything in a normal run. PABP_SIMD forces the
+# tier; on a host without AVX2 the avx2 pass falls back to scalar and
+# is a harmless repeat. The fast-replay suite rides along so the whole
+# batched engine (collectStops consumers, schedule-cache capture and
+# hit paths) runs sanitized at each tier too.
+for tier in scalar avx2; do
+    PABP_SIMD=$tier ctest --test-dir "$BUILD_DIR" --output-on-failure \
+        -j "$(nproc)" -R 'Simd|FastReplay|DecodedTrace'
+done
+
 if [ "${PABP_SKIP_TSAN:-0}" != "1" ]; then
     TSAN_DIR=${TSAN_DIR:-build-tsan}
     cmake -B "$TSAN_DIR" -G Ninja -DPABP_TSAN=ON
     cmake --build "$TSAN_DIR" --target pabp_tests
     # 'Sweep' also picks up the SweepService campaign tests (journal
     # commits from the coordinator while workers run); 'Journal'
-    # covers the journal unit tests themselves.
+    # covers the journal unit tests themselves. 'FastReplay' adds the
+    # replay-schedule cache, whose find/insert runs under a mutex
+    # against concurrent sweep workers sharing one decoded trace - the
+    # sweep tests drive that concurrently, the FastReplay tests pin
+    # the single-threaded semantics under the same build.
     ctest --test-dir "$TSAN_DIR" --output-on-failure \
-        -R 'ThreadPool|Sweep|Stats|Metrics|Journal'
+        -R 'ThreadPool|Sweep|Stats|Metrics|Journal|FastReplay'
 fi

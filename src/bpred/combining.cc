@@ -42,12 +42,6 @@ CombiningPredictor::predictAndUpdate(std::uint32_t pc, bool taken)
     return predicted;
 }
 
-void
-CombiningPredictor::injectHistoryBit(bool bit)
-{
-    firstPred->injectHistoryBit(bit);
-    secondPred->injectHistoryBit(bit);
-}
 
 bool
 CombiningPredictor::hasGlobalHistory() const

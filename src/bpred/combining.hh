@@ -31,7 +31,20 @@ class CombiningPredictor : public BranchPredictor
     /** Fused fast-path call; `final` so a caller holding a
      *  CombiningPredictor& dispatches statically (no vtable). */
     bool predictAndUpdate(std::uint32_t pc, bool taken) final;
-    void injectHistoryBit(bool bit) override;
+    /** In the header so the replay loop's devirtualised PGU drain
+     *  skips one call level (the component injects stay virtual). */
+    void
+    injectHistoryBit(bool bit) override
+    {
+        firstPred->injectHistoryBit(bit);
+        secondPred->injectHistoryBit(bit);
+    }
+    void
+    injectHistoryBits(std::uint64_t bits, unsigned n) override
+    {
+        firstPred->injectHistoryBits(bits, n);
+        secondPred->injectHistoryBits(bits, n);
+    }
     bool hasGlobalHistory() const override;
     void reset() override;
     std::string name() const override;

@@ -73,11 +73,6 @@ GSharePredictor::registerStats(StatGroup &group,
     group.gauge(prefix + "conflicts", [this] { return conflicts; });
 }
 
-void
-GSharePredictor::injectHistoryBit(bool bit)
-{
-    ghr = (ghr << 1) | (bit ? 1 : 0);
-}
 
 void
 GSharePredictor::reset()

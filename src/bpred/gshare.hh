@@ -35,7 +35,21 @@ class GSharePredictor : public BranchPredictor
     /** Fused fast-path call; `final` so a caller holding a
      *  GSharePredictor& dispatches statically (no vtable). */
     bool predictAndUpdate(std::uint32_t pc, bool taken) final;
-    void injectHistoryBit(bool bit) override;
+    /** In the header so the replay loop's devirtualised PGU drain
+     *  inlines it - one register shift per bit, with the history
+     *  staying in a register across a run of drained bits. */
+    void
+    injectHistoryBit(bool bit) override
+    {
+        ghr = (ghr << 1) | (bit ? 1 : 0);
+    }
+    /** Whole-word equivalent of n single-bit injects (contract in
+     *  BranchPredictor::injectHistoryBits): one shift-or. */
+    void
+    injectHistoryBits(std::uint64_t bits, unsigned n) override
+    {
+        ghr = n >= 64 ? bits : (ghr << n) | bits;
+    }
     bool hasGlobalHistory() const override { return true; }
     void reset() override;
     std::string name() const override;
@@ -91,6 +105,11 @@ class GAgPredictor : public BranchPredictor
     bool predict(std::uint32_t pc) override;
     void update(std::uint32_t pc, bool taken) override;
     void injectHistoryBit(bool bit) override;
+    void
+    injectHistoryBits(std::uint64_t bits, unsigned n) override
+    {
+        ghr = n >= 64 ? bits : (ghr << n) | bits;
+    }
     bool hasGlobalHistory() const override { return true; }
     void reset() override;
     std::string name() const override;

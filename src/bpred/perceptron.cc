@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace pabp {
 
@@ -36,14 +37,12 @@ PerceptronPredictor::predict(std::uint32_t pc)
 {
     lastRow = pc & ((std::size_t{1} << rowsLog2) - 1);
     lastHistory = ghr;
-    const std::int16_t *w = row(lastRow);
-    std::int32_t output = w[0]; // bias weight
-    for (unsigned i = 0; i < histBits; ++i) {
-        bool bit = (lastHistory >> i) & 1;
-        output += bit ? w[i + 1] : -w[i + 1];
-    }
-    lastOutput = output;
-    return output >= 0;
+    // The dot product is the predictor's hot loop (histBits signed
+    // adds per lookup); simd:: dispatches to an AVX2 kernel that is
+    // byte-identical to the scalar sum (util/simd.hh).
+    lastOutput = simd::perceptronDot(row(lastRow), lastHistory,
+                                     histBits);
+    return lastOutput >= 0;
 }
 
 void
@@ -52,12 +51,10 @@ PerceptronPredictor::update(std::uint32_t pc, bool taken)
     (void)pc; // trained at the row/history latched by predict()
     bool predicted = lastOutput >= 0;
     if (predicted != taken || std::abs(lastOutput) <= threshold) {
-        std::int16_t *w = row(lastRow);
-        saturatingAdjust(w[0], taken);
-        for (unsigned i = 0; i < histBits; ++i) {
-            bool bit = (lastHistory >> i) & 1;
-            saturatingAdjust(w[i + 1], bit == taken);
-        }
+        simd::perceptronTrain(
+            row(lastRow), lastHistory, histBits, taken,
+            static_cast<std::int16_t>(weightMax),
+            static_cast<std::int16_t>(-weightMax - 1));
     }
     ghr = (ghr << 1) | (taken ? 1 : 0);
 }
@@ -72,11 +69,6 @@ PerceptronPredictor::predictAndUpdate(std::uint32_t pc, bool taken)
     return predicted;
 }
 
-void
-PerceptronPredictor::injectHistoryBit(bool bit)
-{
-    ghr = (ghr << 1) | (bit ? 1 : 0);
-}
 
 void
 PerceptronPredictor::reset()

@@ -34,7 +34,20 @@ class PerceptronPredictor : public BranchPredictor
     /** Fused fast-path call; `final` so a caller holding a
      *  PerceptronPredictor& dispatches statically (no vtable). */
     bool predictAndUpdate(std::uint32_t pc, bool taken) final;
-    void injectHistoryBit(bool bit) override;
+    /** In the header so the replay loop's devirtualised PGU drain
+     *  inlines it (see GSharePredictor::injectHistoryBit). */
+    void
+    injectHistoryBit(bool bit) override
+    {
+        ghr = (ghr << 1) | (bit ? 1 : 0);
+    }
+    /** Whole-word equivalent of n single-bit injects (contract in
+     *  BranchPredictor::injectHistoryBits): one shift-or. */
+    void
+    injectHistoryBits(std::uint64_t bits, unsigned n) override
+    {
+        ghr = n >= 64 ? bits : (ghr << n) | bits;
+    }
     bool hasGlobalHistory() const override { return true; }
     void reset() override;
     std::string name() const override;

@@ -84,6 +84,24 @@ class BranchPredictor
      */
     virtual void injectHistoryBit(bool bit) { (void)bit; }
 
+    /**
+     * Shift @p n non-branch bits into the global history at once,
+     * oldest in the most significant position - exactly equivalent to
+     * n injectHistoryBit() calls walking @p bits MSB-to-LSB. Callers
+     * must pass only the low n bits (high bits clear) and n <= 64.
+     * The default loops per bit, so any override of
+     * injectHistoryBit() is honoured; predictors whose history is a
+     * plain shift register override this with a single shift, which
+     * is what makes the replay schedule cache's word-at-a-time PGU
+     * drain cheap.
+     */
+    virtual void
+    injectHistoryBits(std::uint64_t bits, unsigned n)
+    {
+        for (unsigned j = n; j-- > 0;)
+            injectHistoryBit(((bits >> j) & 1) != 0);
+    }
+
     /** True when injectHistoryBit() actually does something. */
     virtual bool hasGlobalHistory() const { return false; }
 

@@ -6,8 +6,23 @@
 #include "bpred/gshare.hh"
 #include "bpred/perceptron.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace pabp {
+
+// The SIMD class-scan kernels bake the class byte values into their
+// compare constants; pin the real enum to them.
+static_assert(static_cast<std::uint8_t>(DecodedTrace::Class::Other) ==
+              simd::classOther);
+static_assert(static_cast<std::uint8_t>(
+                  DecodedTrace::Class::CondBranch) ==
+              simd::classCondBranch);
+static_assert(static_cast<std::uint8_t>(
+                  DecodedTrace::Class::UncondControl) ==
+              simd::classUncondControl);
+static_assert(static_cast<std::uint8_t>(
+                  DecodedTrace::Class::PredDefine) ==
+              simd::classPredDefine);
 
 PredictionEngine::PredictionEngine(BranchPredictor &base,
                                    EngineConfig config)
@@ -180,28 +195,29 @@ template <bool UseSfpf, bool UsePgu, bool UseSpec, typename Pred>
 void
 PredictionEngine::batchCondBranch(Pred &bp, std::uint32_t pc,
                                   const Inst &inst, bool guard,
-                                  bool taken)
+                                  bool taken,
+                                  BranchProfile::Counters &prof,
+                                  std::uint8_t guardState)
 {
     // MIRROR of processConditionalBranch(): the configuration flags
-    // are template parameters and the predictor is held by its
-    // concrete type where known, but every counter and every side
-    // effect must stay in lockstep with the reference path - any
-    // semantic change there lands here too. The fast-vs-reference
-    // equivalence tests (tests/test_replay_fast.cc) pin the two
-    // bit-identical.
+    // are template parameters, the predictor is held by its concrete
+    // type where known, the profile row arrives pre-resolved from the
+    // caller's cache and the predicate read goes through the batch
+    // view - but every counter and every side effect must stay in
+    // lockstep with the reference path; any semantic change there
+    // lands here too. The fast-vs-reference equivalence tests
+    // (tests/test_replay_fast.cc) pin the two bit-identical.
     BranchClassStats &cls =
         inst.regionBranch ? engineStats.region : engineStats.normal;
-    BranchProfile::Counters &prof = profile.at(pc);
 
     ++prof.lookups;
     // A decoded CondBranch is a guarded Br by construction (qp != 0),
     // so SquashFalsePathFilter::shouldSquash() reduces to "qp reads a
-    // resolved false" - one predicate-file read serves both the
-    // guard-known attribution and the squash decision.
-    std::optional<bool> qp_val;
-    if constexpr (UseSfpf)
-        qp_val = predFile.read(inst.qp);
-    const bool guard_known = UseSfpf && qp_val.has_value();
+    // resolved false" - the define kernel performed that read at this
+    // branch's sequence and handed the result over in guardState; one
+    // resolved value serves both the guard-known attribution and the
+    // squash decision.
+    const bool guard_known = UseSfpf && (guardState & 1);
     if (guard_known)
         ++prof.guardKnown;
     else
@@ -209,7 +225,7 @@ PredictionEngine::batchCondBranch(Pred &bp, std::uint32_t pc,
     if (UsePgu && shiftsSincePguBit < pguInfluenceWindow)
         ++prof.pguInfluenced;
 
-    bool squash = guard_known && !*qp_val;
+    bool squash = guard_known && !(guardState & 2);
 
     bool spec_squash = false;
     if constexpr (UseSpec) {
@@ -274,26 +290,37 @@ PredictionEngine::batchCondBranch(Pred &bp, std::uint32_t pc,
 }
 
 template <bool UseSfpf, bool UsePgu>
-void
+PABP_ALWAYS_INLINE void
 PredictionEngine::batchPredDefine(const DecodedTrace &trace,
                                   std::uint64_t i)
 {
     // MIRROR of handlePredicateDefine() over the trace's flat lanes:
-    // the configuration flags are template parameters and no DynInst
-    // is built except for the PGU's observe (materialised inline, so
-    // the compiler drops the fields observe never reads). Any
-    // semantic change in the reference handler lands here too; the
-    // equivalence tests (tests/test_replay_fast.cc) pin the two
-    // event for event.
-    ++engineStats.predicateDefines;
+    // the configuration flags are template parameters, no DynInst is
+    // built at all (the PGU's batch view observes the lanes through
+    // the per-pc kind byte), and the writes land in the batch views
+    // instead of the FIFO-backed components - the views' commit()
+    // restores byte-identical component state. The caller counts
+    // defines in bulk (engineStats.predicateDefines). Any semantic
+    // change in the reference handler lands here too; the equivalence
+    // tests (tests/test_replay_fast.cc) pin the two event for event.
     if constexpr (UseSfpf) {
+        // Both register slots are written unconditionally: dead slots
+        // (and p0 writes, which the file discards) route to the
+        // overlay's scratch entry, so the data-dependent write count
+        // never becomes a host branch. Slot order is preserved for
+        // the pathological pdst1 == pdst2 case.
         const unsigned writes = trace.numPredWrites(i);
-        const std::uint8_t regs[2] = {trace.predReg0[i],
-                                      trace.predReg1[i]};
-        for (unsigned w = 0; w < writes; ++w)
-            predFile.write(i, regs[w], (trace.predVal[i] >> w) & 1);
+        const std::uint8_t v = trace.predVal[i];
+        const unsigned r0 = writes >= 1 ? trace.predReg0[i]
+                                        : BatchPredicateView::trashReg;
+        const unsigned r1 = writes >= 2 ? trace.predReg1[i]
+                                        : BatchPredicateView::trashReg;
+        predView.writeMasked(i, r0, v & 1);
+        predView.writeMasked(i, r1, (v >> 1) & 1);
         if (cfg.conservativeDefTracking) {
-            const Inst &inst = *trace.insts[i];
+            const std::uint8_t regs[2] = {trace.predReg0[i],
+                                          trace.predReg1[i]};
+            const Inst &inst = trace.inst(i);
             auto written = [&](unsigned reg) {
                 for (unsigned w = 0; w < writes; ++w)
                     if (regs[w] == reg)
@@ -301,13 +328,14 @@ PredictionEngine::batchPredDefine(const DecodedTrace &trace,
                 return false;
             };
             if (!written(inst.pdst1))
-                predFile.writeNoop(i, inst.pdst1);
+                predView.writeNoop(i, inst.pdst1);
             if (inst.op == Opcode::Cmp && !written(inst.pdst2))
-                predFile.writeNoop(i, inst.pdst2);
+                predView.writeNoop(i, inst.pdst2);
         }
     }
     if constexpr (UsePgu)
-        pgu.observe(trace.materialise(i));
+        pguView.observe(i, pguKind[trace.pcs[i]], trace.flags[i],
+                        trace.predVal[i]);
 }
 
 template <bool UseSfpf, bool UsePgu, bool UseSpec, typename Pred>
@@ -316,71 +344,318 @@ PredictionEngine::batchLoop(Pred &bp, const DecodedTrace &trace,
                             std::uint64_t first, std::uint64_t count)
 {
     // MIRROR of process() over the trace's flat lanes: no DynInst is
-    // built on the hot path (predicate defines run the lane-level
-    // mirror below; only the PGU's observe still sees a DynInst,
-    // materialised inline), and seq is the lane index by the decoded
-    // trace's construction.
+    // built anywhere (predicate defines and the PGU's observe both
+    // read the lanes directly), and seq is the lane index by the
+    // decoded trace's construction.
     //
-    // One deliberate reordering: the reference path advances the
-    // predicate file and drains the PGU on EVERY instruction, but
-    // both operations are monotonic and idempotent in seq, and their
-    // state is only ever read at a conditional branch (predFile.read
-    // / the history bits a prediction sees) or after the run (gauges,
-    // checkpoints). Deferring them to the next branch retires and
-    // injects exactly the same entries in the same order before every
-    // read, so every prediction, counter and exported byte is
-    // unchanged - pinned by tests/test_replay_fast.cc. Likewise
-    // shiftsSincePguBit: it only moves at drains and branch shifts,
-    // so draining at the branch reproduces its per-branch value.
-    // Same deferral for the instruction counter: nothing reads it
-    // mid-batch, so the per-instruction increment folds into one add.
+    // Three deliberate restructurings, each invisible to every
+    // observer (stats, profile, exported metrics, checkpoint bytes -
+    // all pinned by tests/test_replay_fast.cc):
+    //
+    //  1. Deferral, as before: the reference path advances the
+    //     predicate file and drains the PGU on EVERY instruction, but
+    //     both operations are monotonic and idempotent in seq, and
+    //     their state is only read at a conditional branch or after
+    //     the run. Performing them at the branch (and syncing at the
+    //     batch end) reproduces every read and every counter.
+    //     Likewise shiftsSincePguBit (only moves at drains and branch
+    //     shifts) and the instruction counter (one add).
+    //
+    //  2. Batch views: predicate-file writes/reads and PGU
+    //     observe/drain run against flat per-batch overlays
+    //     (BatchPredicateView, PguBatchView) instead of the
+    //     FIFO-backed components, eliminating the queue push/pop per
+    //     define. commit() restores the components to byte-identical
+    //     state, including the checkpoint-serialised queues.
+    //
+    //  3. Class scanning: events the configuration only counts
+    //     (Other always; UncondControl always; PredDefine when no
+    //     predicate technique is armed) are skipped in bulk by a
+    //     SIMD compare+popcount scan of the cls lane - the count IS
+    //     the processing, and the per-event counter increments farm
+    //     into totals nothing can observe mid-batch.
+    if (count == 0)
+        return;
     engineStats.insts += count;
     const std::uint64_t end = first + count;
-    auto drain = [&](std::uint64_t seq) {
-        // The concrete-predictor instantiations bind the per-bit
-        // history injection statically; the BranchPredictor fallback
-        // keeps the virtual drain.
-        unsigned drained;
-        if constexpr (std::is_same_v<Pred, BranchPredictor>)
-            drained = pgu.drainTo(seq);
-        else
-            drained = pgu.drainToAs(bp, seq);
-        if (drained > 0)
-            shiftsSincePguBit = 0;
-    };
-    for (std::uint64_t i = first; i < end; ++i) {
-        switch (static_cast<DecodedTrace::Class>(trace.cls[i])) {
-          case DecodedTrace::Class::CondBranch: {
-            if constexpr (UseSfpf)
-                predFile.advanceTo(i);
+    const std::uint64_t endSeq = end - 1;
+
+    // Rebuilt per batch: a profile reset/restore between batches (a
+    // reused engine, a checkpoint load) would otherwise leave stale
+    // row pointers. Refilling costs one map walk per distinct pc.
+    profCache.assign(trace.prog.insts.size(), nullptr);
+
+    constexpr bool definesInteresting = UseSfpf || UsePgu;
+
+    // Replay-schedule cache probe (sim/replay_schedule.hh): the
+    // define kernel's outputs are predictor-independent, so a batch
+    // over the same (range, predicate config, predicate-component
+    // entry state) of this trace has run before - in a sweep, for
+    // every predictor after the first - and its recorded schedule
+    // lets this replay skip the defines entirely. The key is
+    // compared exactly (no hashing), so a hit is always sound; on a
+    // miss the kernel runs as normal and `capture` records the
+    // schedule for the next identical batch.
+    std::shared_ptr<const ReplaySchedule> sched;
+    std::shared_ptr<ReplaySchedule> capture;
+    if constexpr (definesInteresting) {
+        if (trace.schedCache) {
+            std::uint64_t preVis = 0;
+            keyPredQ.clear();
+            keyPguQ.clear();
+            if constexpr (UseSfpf) {
+                preVis = predFile.visibleBits();
+                predFile.exportQueue(keyPredQ);
+            }
             if constexpr (UsePgu)
-                drain(i);
-            const std::uint8_t f = trace.flags[i];
-            batchCondBranch<UseSfpf, UsePgu, UseSpec>(
-                bp, trace.pcs[i], *trace.insts[i], f & 1,
-                (f >> 1) & 1);
-            break;
-          }
-          case DecodedTrace::Class::UncondControl:
-            ++engineStats.uncondBranches;
-            break;
-          case DecodedTrace::Class::PredDefine:
-            batchPredDefine<UseSfpf, UsePgu>(trace, i);
-            break;
-          case DecodedTrace::Class::Other:
-            break;
+                pgu.exportQueuePacked(keyPguQ);
+            const std::uint64_t cfg0 =
+                static_cast<std::uint64_t>(cfg.availDelay) |
+                (static_cast<std::uint64_t>(cfg.pgu.delay) << 32);
+            const std::uint64_t cfg1 =
+                (UseSfpf ? 1u : 0u) | (UsePgu ? 2u : 0u) |
+                (cfg.conservativeDefTracking ? 4u : 0u) |
+                (static_cast<std::uint64_t>(cfg.pgu.source) << 3) |
+                (static_cast<std::uint64_t>(cfg.pgu.value) << 5) |
+                (cfg.pgu.includePSet ? 128u : 0u);
+            sched = trace.schedCache->find(cfg0, cfg1, first, count,
+                                           preVis, keyPredQ, keyPguQ);
+            if (!sched) {
+                capture = std::make_shared<ReplaySchedule>();
+                capture->cfg0 = cfg0;
+                capture->cfg1 = cfg1;
+                capture->first = first;
+                capture->count = count;
+                capture->preVisibleBits = preVis;
+                capture->prePredQueue = keyPredQ;
+                capture->prePguLen = keyPguQ.size();
+            }
         }
     }
-    // Sync the deferred state to where the reference loop leaves it
-    // after its last per-instruction advance/drain, so end-of-run
-    // observers (metric gauges, a checkpoint taken after the batch)
-    // see identical bytes.
-    if (count > 0) {
-        if constexpr (UseSfpf)
-            predFile.advanceTo(end - 1);
-        if constexpr (UsePgu)
-            drain(end - 1);
+    // With a schedule in hand the define kernel is skipped: defines
+    // are counted by the class scan but never visited.
+    const bool runDefines = definesInteresting && !sched;
+
+    if constexpr (UseSfpf) {
+        if (!sched)
+            predView.begin(predFile, endSeq);
     }
+
+    if (stopBufCap < count) {
+        stopBuf = std::make_unique_for_overwrite<std::uint32_t[]>(
+            count);
+        stopBufCap = count;
+    }
+    if (runDefines && defBufCap < count) {
+        defBuf = std::make_unique_for_overwrite<std::uint32_t[]>(
+            count);
+        defBufCap = count;
+    }
+    const simd::CollectResult stops = simd::collectStops(
+        trace.cls, first, end, runDefines, stopBuf.get(),
+        runDefines ? defBuf.get() : nullptr);
+    engineStats.uncondBranches += stops.uncond;
+    engineStats.predicateDefines += stops.defines;
+
+    // PGU machinery: on a hit the drain walks the schedule's packed
+    // bit stream with a local cursor (the carried queue is its
+    // prefix, matched exactly by the probe); on a miss the batch view
+    // collects bits from the define kernel as before.
+    const std::uint64_t *pq = nullptr;
+    std::uint64_t pqN = 0, pqCursor = 0, pqInjected = 0;
+    if constexpr (UsePgu) {
+        if (sched) {
+            pq = sched->pguBits.data();
+            pqN = sched->pguBits.size();
+        } else {
+            // Each define contributes up to two bits (BothWrites), so
+            // prior queue + 2x defines bounds the batch's appends.
+            pguView.begin(pgu, pguBuf, pguBufCap, 2 * stops.defines);
+            pguView.buildKinds(trace.prog.insts, pguKind);
+        }
+    }
+    // Miss-path drain: the batch view scans for ripe bits.
+    auto drain = [&](std::uint64_t seq) {
+        if (pguView.drainTo(bp, seq) > 0)
+            shiftsSincePguBit = 0;
+    };
+    // Hit-path drain: the schedule already knows the cursor after
+    // every drain point (index b for branch b, nBranches for the
+    // batch-end drain), so there is no per-entry ripeness scan at
+    // all - the k new bits land in one injectHistoryBits() shift.
+    // The per-entry fallback covers k > 64 (can only happen with
+    // very define-dense gaps between branches) bit-exactly. The
+    // concrete-predictor instantiations bind the injection
+    // statically; the BranchPredictor fallback keeps the virtual
+    // call.
+    const std::uint32_t *drainTgt = nullptr;
+    const std::uint64_t *drainWord = nullptr;
+    if constexpr (UsePgu) {
+        if (sched) {
+            drainTgt = sched->drainTargets.data();
+            drainWord = sched->drainWords.data();
+        }
+    }
+    auto drainSched = [&](std::uint64_t idx) {
+        const std::uint32_t tgt = drainTgt[idx];
+        if (tgt == pqCursor)
+            return;
+        const unsigned k = static_cast<unsigned>(tgt - pqCursor);
+        if (k <= 64) [[likely]] {
+            const std::uint64_t w = drainWord[idx];
+            const std::uint64_t bits =
+                k == 64 ? w : (w & ((std::uint64_t{1} << k) - 1));
+            if constexpr (std::is_same_v<Pred, BranchPredictor>)
+                bp.injectHistoryBits(bits, k);
+            else
+                bp.Pred::injectHistoryBits(bits, k);
+        } else {
+            for (std::uint64_t c = pqCursor; c < tgt; ++c) {
+                if constexpr (std::is_same_v<Pred, BranchPredictor>)
+                    bp.injectHistoryBit((pq[c] & 1) != 0);
+                else
+                    bp.Pred::injectHistoryBit((pq[c] & 1) != 0);
+            }
+        }
+        pqCursor = tgt;
+        pqInjected += k;
+        shiftsSincePguBit = 0;
+    };
+
+    // Branch-major merge of the two ascending index streams: before
+    // each branch, a short inner run applies every not-yet-applied
+    // define that precedes it (the batch views then carry exactly the
+    // state the interleaved order would have had - defines never read
+    // predictor or profile state, and their PGU bits ripen strictly
+    // by sequence, so a define between two branches can act anywhere
+    // between them). The guard is resolved, pending history bits
+    // drained and the branch predicted in the same iteration, so no
+    // per-event class re-test and no per-branch side buffers exist;
+    // the merge's only data-dependent branch is the inner run's exit,
+    // one well-predicted test per branch instead of one mispredicting
+    // classify per stop event. On a schedule hit the merge vanishes
+    // too: guards load from the schedule and only branches remain.
+    const std::uint32_t *stop = stopBuf.get();
+    const std::uint32_t *defs = defBuf.get();
+    const std::uint8_t *cachedGuard = nullptr;
+    if (sched) {
+        pabp_assert(sched->nBranches == stops.branches);
+        if constexpr (UseSfpf)
+            cachedGuard = sched->guard.data();
+    }
+    if (capture) {
+        capture->nBranches = stops.branches;
+        if constexpr (UseSfpf)
+            capture->guard.reserve(stops.branches);
+    }
+    std::uint64_t dNext = 0;
+    for (std::uint64_t b = 0; b < stops.branches; ++b) {
+        const std::uint32_t i = stop[b];
+        if constexpr (definesInteresting) {
+            if (!sched) {
+                while (dNext < stops.defines && defs[dNext] < i)
+                    batchPredDefine<UseSfpf, UsePgu>(trace,
+                                                     defs[dNext++]);
+            }
+        }
+        const std::uint32_t pc = trace.pcs[i];
+        const Inst &inst = trace.prog.insts[pc];
+        std::uint8_t guardState = 0;
+        if constexpr (UseSfpf) {
+            if (sched) {
+                guardState = cachedGuard[b];
+            } else {
+                const std::optional<bool> g = predView.read(inst.qp, i);
+                guardState = g.has_value()
+                    ? static_cast<std::uint8_t>(
+                          1u | (static_cast<unsigned>(*g) << 1))
+                    : 0u;
+                if (capture)
+                    capture->guard.push_back(guardState);
+            }
+        }
+        if constexpr (UsePgu) {
+            if (sched)
+                drainSched(b);
+            else
+                drain(i);
+        }
+        const std::uint8_t f = trace.flags[i];
+        batchCondBranch<UseSfpf, UsePgu, UseSpec>(
+            bp, pc, inst, f & 1, (f >> 1) & 1, profileRowFor(pc),
+            guardState);
+    }
+    if constexpr (definesInteresting) {
+        // Defines after the last branch of the batch.
+        if (!sched) {
+            while (dNext < stops.defines)
+                batchPredDefine<UseSfpf, UsePgu>(trace, defs[dNext++]);
+        }
+    }
+
+    // Sync the deferred state to where the reference loop leaves it
+    // after its last per-instruction advance/drain, then fold the
+    // batch state back into the components, so end-of-run observers
+    // (metric gauges, a checkpoint taken after the batch) see
+    // identical bytes. A capture records the stream and exit state
+    // just before they fold away.
+    if constexpr (UsePgu) {
+        if (sched) {
+            drainSched(stops.branches);
+            pgu.commitCachedBatch(pq + pqCursor, pqN - pqCursor,
+                                  pqInjected);
+        } else {
+            drain(endSeq);
+            if (capture) {
+                const PguBatchView::Pending *s = pguView.streamData();
+                const std::size_t n = pguView.streamSize();
+                capture->pguBits.reserve(n);
+                for (std::size_t k = 0; k < n; ++k)
+                    capture->pguBits.push_back(
+                        (s[k].seq << 1) |
+                        static_cast<std::uint64_t>(s[k].bit ? 1 : 0));
+                // Precompute the hit path's drain plan: cumulative
+                // cursor and rolling bit word at each branch, plus
+                // the batch-end drain - same ripeness rule drainTo()
+                // applies, over the same stream, so a replayed batch
+                // lands each bit at the same point.
+                const std::uint64_t delay = cfg.pgu.delay;
+                const std::vector<std::uint64_t> &bits =
+                    capture->pguBits;
+                pabp_assert(bits.size() <= 0xffffffffu);
+                capture->drainTargets.resize(stops.branches + 1);
+                capture->drainWords.resize(stops.branches + 1);
+                std::uint32_t c = 0;
+                std::uint64_t word = 0;
+                for (std::uint64_t b = 0; b <= stops.branches; ++b) {
+                    const std::uint64_t seq =
+                        b < stops.branches ? stop[b] : endSeq;
+                    while (c < bits.size() &&
+                           (bits[c] >> 1) + delay <= seq) {
+                        word = (word << 1) | (bits[c] & 1);
+                        ++c;
+                    }
+                    capture->drainTargets[b] = c;
+                    capture->drainWords[b] = word;
+                }
+            }
+            pguView.commit();
+        }
+    }
+    if constexpr (UseSfpf) {
+        if (sched) {
+            predFile.restoreBatchState(sched->postVisibleBits,
+                                       sched->postPredQueue);
+        } else {
+            predView.commit(); // advanceTo(endSeq) + batch writes
+            if (capture) {
+                capture->postVisibleBits = predFile.visibleBits();
+                predFile.exportQueue(capture->postPredQueue);
+            }
+        }
+    }
+    if (capture)
+        trace.schedCache->insert(std::move(capture));
 }
 
 template <bool UseSfpf, bool UsePgu, bool UseSpec>

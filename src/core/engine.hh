@@ -10,7 +10,10 @@
 #ifndef PABP_CORE_ENGINE_HH
 #define PABP_CORE_ENGINE_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "bpred/confidence.hh"
 #include "bpred/predictor.hh"
@@ -235,11 +238,60 @@ class PredictionEngine
     template <bool UseSfpf, bool UsePgu, bool UseSpec, typename Pred>
     void batchLoop(Pred &bp, const DecodedTrace &trace,
                    std::uint64_t first, std::uint64_t count);
+    /** @p guardState is the SFPF guard pre-resolved by the define
+     *  kernel at this branch's sequence: bit0 = known at fetch, bit1
+     *  = its value (0 when UseSfpf is off). */
     template <bool UseSfpf, bool UsePgu, bool UseSpec, typename Pred>
     void batchCondBranch(Pred &bp, std::uint32_t pc, const Inst &inst,
-                         bool guard, bool taken);
+                         bool guard, bool taken,
+                         BranchProfile::Counters &prof,
+                         std::uint8_t guardState);
     template <bool UseSfpf, bool UsePgu>
     void batchPredDefine(const DecodedTrace &trace, std::uint64_t i);
+
+    /** Look up (and cache) the profile row for @p pc. The per-pc
+     *  cache turns the reference path's per-branch std::map walk into
+     *  an array load; BranchProfile::at() only invalidates pointers
+     *  by evicting, which it reports via evictedBranches(). */
+    BranchProfile::Counters &
+    profileRowFor(std::uint32_t pc)
+    {
+        BranchProfile::Counters *row = profCache[pc];
+        if (row) [[likely]]
+            return *row;
+        const std::uint64_t evictedBefore = profile.evictedBranches();
+        row = &profile.at(pc);
+        if (profile.evictedBranches() != evictedBefore) {
+            // An eviction erased some entry; every cached pointer is
+            // suspect, so start the cache over.
+            std::fill(profCache.begin(), profCache.end(), nullptr);
+        }
+        profCache[pc] = row;
+        return *row;
+    }
+
+    /** @name Batch-scoped machinery (reused so capacity persists)
+     *  @{ */
+    BatchPredicateView predView;
+    PguBatchView pguView;
+    std::unique_ptr<PguBatchView::Pending[]> pguBuf;
+    std::size_t pguBufCap = 0;
+    std::vector<BranchProfile::Counters *> profCache;
+    /** Per-pc PGU contribution byte (PguBatchView::buildKinds). */
+    std::vector<std::uint8_t> pguKind;
+    /** Branch- and define-index buffers for simd::collectStops
+     *  (uninitialised on purpose: the collect pass defines exactly
+     *  the prefixes read). */
+    std::unique_ptr<std::uint32_t[]> stopBuf;
+    std::size_t stopBufCap = 0;
+    std::unique_ptr<std::uint32_t[]> defBuf;
+    std::size_t defBufCap = 0;
+    /** Schedule-cache probe scratch: the predicate file and PGU entry
+     *  queues snapshotted for exact key comparison (reused so the
+     *  small allocations amortise away). */
+    std::vector<ReplayPredWrite> keyPredQ;
+    std::vector<std::uint64_t> keyPguQ;
+    /** @} */
     /** @} */
 
     /** The base predictor's history shifted once (a branch-outcome

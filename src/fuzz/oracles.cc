@@ -247,6 +247,79 @@ oracleReplay(const FuzzCase &c, CaseContext &ctx)
     if (metricsBytes(ref) != metricsBytes(fast))
         return diverged("exported metrics bytes differ between "
                         "reference and fast replay");
+
+    // The first fast replay captured a replay schedule on the decoded
+    // trace (sim/replay_schedule.hh); a second replay takes the cache
+    // HIT path - cached guards, word-at-a-time PGU drain, restored
+    // predicate-file exit state - and must still match the reference
+    // byte for byte.
+    Expected<PredictorPtr> predC = makeCasePredictor(c);
+    if (!predC.ok())
+        return predC.status();
+    PredictionEngine hit(*predC.value(), c.engine);
+    const std::uint64_t hitProcessed =
+        hit.processBatch(decoded, 0, decoded.size());
+    if (refProcessed != hitProcessed)
+        return diverged(
+            "schedule-cache hit processed-count mismatch: reference " +
+            std::to_string(refProcessed) + " vs hit " +
+            std::to_string(hitProcessed));
+    if (!(ref.stats() == hit.stats()))
+        return diverged("schedule-cache hit replay stats diverge from "
+                        "reference:" +
+                        statsDiff(ref.stats(), hit.stats()));
+    if (!(ref.branchProfile() == hit.branchProfile()))
+        return diverged("schedule-cache hit replay per-branch profile "
+                        "diverges from reference");
+    if (ref.pguBitsInserted() != hit.pguBitsInserted())
+        return diverged(
+            "schedule-cache hit PGU bits differ: reference " +
+            std::to_string(ref.pguBitsInserted()) + " vs hit " +
+            std::to_string(hit.pguBitsInserted()));
+    if (metricsBytes(ref) != metricsBytes(hit))
+        return diverged("exported metrics bytes differ between "
+                        "reference and schedule-cache hit replay");
+
+    // Chunked replay with a case-derived batch size: each chunk keys
+    // its own schedule on the carried predicate state, so awkward
+    // chunk boundaries (mid define-visibility window) probe the
+    // capture/restore seams the one-shot replay never crosses. Two
+    // passes: the first captures per-chunk schedules, the second hits
+    // every one.
+    const std::uint64_t chunk = 1 + (c.seed % 97) % decoded.size();
+    for (int pass = 0; pass < 2; ++pass) {
+        Expected<PredictorPtr> predD = makeCasePredictor(c);
+        if (!predD.ok())
+            return predD.status();
+        PredictionEngine chunked(*predD.value(), c.engine);
+        std::uint64_t cursor = 0;
+        while (cursor < decoded.size())
+            cursor = chunked.processBatch(decoded, cursor, chunk);
+        if (cursor != refProcessed)
+            return diverged(
+                "chunked replay cursor mismatch (chunk " +
+                std::to_string(chunk) + ", pass " +
+                std::to_string(pass) + "): reference " +
+                std::to_string(refProcessed) + " vs " +
+                std::to_string(cursor));
+        if (!(ref.stats() == chunked.stats()))
+            return diverged("chunked fast replay stats diverge from "
+                            "reference (chunk " +
+                            std::to_string(chunk) + ", pass " +
+                            std::to_string(pass) + "):" +
+                            statsDiff(ref.stats(), chunked.stats()));
+        if (!(ref.branchProfile() == chunked.branchProfile()))
+            return diverged(
+                "chunked fast replay per-branch profile diverges "
+                "from reference (chunk " +
+                std::to_string(chunk) + ", pass " +
+                std::to_string(pass) + ")");
+        if (ref.pguBitsInserted() != chunked.pguBitsInserted())
+            return diverged(
+                "chunked fast replay PGU bits differ (chunk " +
+                std::to_string(chunk) + ", pass " +
+                std::to_string(pass) + ")");
+    }
     return {};
 }
 

@@ -20,7 +20,6 @@ constexpr char traceFooter[8] = {'P', 'A', 'B', 'P', 'E', 'N', 'D', '2'};
 constexpr std::uint32_t traceVersion2 = 2;
 
 /** On-disk record sizes (fixed by both format versions). */
-constexpr std::size_t instRecordBytes = 20;  // word0 + word1 + regionId
 constexpr std::size_t eventRecordBytes = 12; // pc,flags,regs,val,nextPc
 
 /** Events per CRC-protected v2 block. Small enough that salvage
@@ -150,10 +149,10 @@ writeTrace(const RecordedTrace &trace, std::ostream &os)
     sink.resetCrc();
 
     // Program section.
-    unsigned char record[instRecordBytes];
+    unsigned char record[instRecordSize];
     for (const Inst &inst : trace.prog.insts) {
         packInst(inst, record);
-        sink.writeBytes(record, instRecordBytes);
+        sink.writeBytes(record, instRecordSize);
     }
     sink.writeU32(sink.crc32());
 
@@ -187,10 +186,10 @@ writeTraceV1(const RecordedTrace &trace, std::ostream &os)
     StateSink sink(os);
     sink.writeBytes(traceMagicV1, sizeof(traceMagicV1));
     sink.writeU64(trace.prog.size());
-    unsigned char record[instRecordBytes];
+    unsigned char record[instRecordSize];
     for (const Inst &inst : trace.prog.insts) {
         packInst(inst, record);
-        sink.writeBytes(record, instRecordBytes);
+        sink.writeBytes(record, instRecordSize);
     }
     sink.writeU64(trace.events.size());
     unsigned char event_record[eventRecordBytes];
@@ -214,9 +213,9 @@ readTraceV1(StateSource &src, TraceReadInfo &info)
     // Never trust an unprotected count for preallocation.
     trace.prog.insts.reserve(
         std::min<std::uint64_t>(num_insts, 1u << 16));
-    unsigned char record[instRecordBytes];
+    unsigned char record[instRecordSize];
     for (std::uint64_t i = 0; i < num_insts; ++i) {
-        PABP_TRY(src.readBytes(record, instRecordBytes));
+        PABP_TRY(src.readBytes(record, instRecordSize));
         Inst inst;
         if (!unpackInst(record, inst))
             return Status(StatusCode::Corrupt,
@@ -271,7 +270,7 @@ readTraceV2(StateSource &src, const TraceReadOptions &opts,
     // Program section: verify the CRC over the raw bytes *before*
     // decoding, so a damaged section cannot feed the decoder garbage.
     src.resetCrc();
-    std::vector<unsigned char> program_bytes(num_insts * instRecordBytes);
+    std::vector<unsigned char> program_bytes(num_insts * instRecordSize);
     PABP_TRY(src.readBytes(program_bytes.data(), program_bytes.size()));
     std::uint32_t prog_crc = src.crc32();
     std::uint32_t stored_prog_crc = 0;
@@ -284,7 +283,7 @@ readTraceV2(StateSource &src, const TraceReadOptions &opts,
     trace.prog.insts.reserve(num_insts);
     for (std::uint64_t i = 0; i < num_insts; ++i) {
         Inst inst;
-        if (!unpackInst(program_bytes.data() + i * instRecordBytes, inst))
+        if (!unpackInst(program_bytes.data() + i * instRecordSize, inst))
             return Status(StatusCode::Corrupt,
                           "invalid instruction encoding at pc " +
                               std::to_string(i));
@@ -418,6 +417,18 @@ loadTraceFile(const std::string &path)
     if (!loaded.ok())
         pabp_fatal(loaded.status().toString());
     return std::move(loaded.value());
+}
+
+void
+packInstRecord(const Inst &inst, unsigned char *out)
+{
+    packInst(inst, out);
+}
+
+bool
+unpackInstRecord(const unsigned char *p, Inst &inst)
+{
+    return unpackInst(p, inst);
 }
 
 } // namespace pabp

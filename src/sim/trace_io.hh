@@ -116,6 +116,19 @@ Expected<RecordedTrace> tryLoadTraceFile(const std::string &path,
 void saveTraceFile(const RecordedTrace &trace, const std::string &path);
 RecordedTrace loadTraceFile(const std::string &path);
 
+/**
+ * @name Static-instruction record packing
+ * The 20-byte on-disk instruction record (architectural encoding plus
+ * the regionId sidecar) shared by the trace formats and the decoded-
+ * trace file format (sim/decoded_trace.hh).
+ * @{
+ */
+constexpr std::size_t instRecordSize = 20;
+void packInstRecord(const Inst &inst, unsigned char *out);
+/** False when the record is not a valid encoding. */
+bool unpackInstRecord(const unsigned char *p, Inst &inst);
+/** @} */
+
 } // namespace pabp
 
 #endif // PABP_SIM_TRACE_IO_HH

@@ -35,6 +35,19 @@ void logMessage(const char *severity, const std::string &msg,
 #define pabp_warn(msg) ::pabp::logMessage("warn", (msg), __FILE__, __LINE__)
 
 /**
+ * Force-inline for the replay hot path's per-event helpers. The
+ * inliner treats them as ordinary out-of-line candidates, but a call
+ * frame (spilling the loop's live registers) costs as much as the
+ * helper's own handful of ALU ops when it runs once per dynamic
+ * event; see docs/PERF.md.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define PABP_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define PABP_ALWAYS_INLINE inline
+#endif
+
+/**
  * Invariant check that stays on in release builds. Simulator results
  * silently corrupted by a skipped assert are worse than the cost of
  * the branch.

@@ -1,0 +1,74 @@
+#include "util/mmap_file.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace pabp {
+
+MmapFile::~MmapFile()
+{
+    if (base != nullptr)
+        ::munmap(const_cast<unsigned char *>(base), length);
+}
+
+MmapFile::MmapFile(MmapFile &&other) noexcept
+    : base(std::exchange(other.base, nullptr)),
+      length(std::exchange(other.length, 0))
+{
+}
+
+MmapFile &
+MmapFile::operator=(MmapFile &&other) noexcept
+{
+    if (this != &other) {
+        if (base != nullptr)
+            ::munmap(const_cast<unsigned char *>(base), length);
+        base = std::exchange(other.base, nullptr);
+        length = std::exchange(other.length, 0);
+    }
+    return *this;
+}
+
+Expected<MmapFile>
+MmapFile::open(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return Status(StatusCode::IoError,
+                      "cannot open " + path + ": " +
+                          std::strerror(errno));
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return Status(StatusCode::IoError,
+                      "cannot stat " + path + ": " +
+                          std::strerror(err));
+    }
+    MmapFile out;
+    out.length = static_cast<std::size_t>(st.st_size);
+    if (out.length > 0) {
+        void *mapping =
+            ::mmap(nullptr, out.length, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (mapping == MAP_FAILED) {
+            const int err = errno;
+            ::close(fd);
+            out.length = 0;
+            return Status(StatusCode::IoError,
+                          "cannot mmap " + path + ": " +
+                              std::strerror(err));
+        }
+        out.base = static_cast<const unsigned char *>(mapping);
+    }
+    // The mapping holds its own reference to the file.
+    ::close(fd);
+    return out;
+}
+
+} // namespace pabp

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Read-only memory-mapped file with typed errors.
+ *
+ * The zero-copy DecodedTrace loader points its lanes straight into a
+ * mapping instead of deserialising into vectors, so opening a
+ * multi-gigabyte decoded trace costs page-table setup, not a copy of
+ * the file. The wrapper owns the mapping for its lifetime (munmap on
+ * destruction) and is movable but not copyable, exactly like the
+ * structures built on top of it.
+ */
+
+#ifndef PABP_UTIL_MMAP_FILE_HH
+#define PABP_UTIL_MMAP_FILE_HH
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.hh"
+
+namespace pabp {
+
+/** An open read-only file mapping. */
+class MmapFile
+{
+  public:
+    MmapFile() = default;
+    ~MmapFile();
+
+    MmapFile(MmapFile &&other) noexcept;
+    MmapFile &operator=(MmapFile &&other) noexcept;
+    MmapFile(const MmapFile &) = delete;
+    MmapFile &operator=(const MmapFile &) = delete;
+
+    /**
+     * Map @p path read-only. Missing/unreadable files are IoError;
+     * an empty file maps successfully with size() == 0 and a null
+     * data() (there are no bytes to point at).
+     */
+    static Expected<MmapFile> open(const std::string &path);
+
+    const unsigned char *data() const { return base; }
+    std::size_t size() const { return length; }
+    bool mapped() const { return base != nullptr || length == 0; }
+
+  private:
+    const unsigned char *base = nullptr;
+    std::size_t length = 0;
+};
+
+} // namespace pabp
+
+#endif // PABP_UTIL_MMAP_FILE_HH

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -49,6 +50,24 @@ recordWorkload(const std::string &name, std::uint64_t max_insts)
     if (wl.init)
         wl.init(emu.state());
     return recordTrace(emu, max_insts);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    const auto *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    return ::testing::TempDir() + info->name() + "_" + name;
 }
 
 /** Everything the engine exposes after a replay. */
@@ -148,7 +167,7 @@ TEST(DecodedTraceLanes, ClassLaneMatchesDispatchRules)
 
     std::uint64_t seen[4] = {0, 0, 0, 0};
     for (std::size_t i = 0; i < dec.size(); ++i) {
-        const Inst &inst = *dec.insts[i];
+        const Inst &inst = dec.inst(i);
         auto cls = static_cast<DecodedTrace::Class>(dec.cls[i]);
         ++seen[dec.cls[i]];
         switch (cls) {
@@ -282,6 +301,202 @@ TEST(FastReplayEquivalence, EveryEngineConfig)
     }
 }
 
+// The history-carrying predictors with their own injectHistoryBits
+// fast paths (perceptron's SIMD dot/train, yags' tagged tables through
+// the generic fallback) get the full predicate-config axis, not just
+// the base/+both corners of EveryPredictorKind: each config arms a
+// different slice of the schedule-cache machinery.
+
+TEST(FastReplayEquivalence, PerceptronAndYagsAcrossConfigs)
+{
+    struct Cell
+    {
+        const char *name;
+        bool sfpf;
+        bool pgu;
+    };
+    static const Cell cells[] = {{"base", false, false},
+                                 {"+sfpf", true, false},
+                                 {"+pgu", false, true},
+                                 {"+both", true, true}};
+
+    for (const char *wl : {"interp", "fsm"}) {
+        RecordedTrace trace = recordWorkload(wl, 40000);
+        DecodedTrace dec = DecodedTrace::build(trace);
+        for (const char *kind : {"perceptron", "yags", "comb"}) {
+            for (const Cell &cell : cells) {
+                SCOPED_TRACE(std::string(wl) + "/" + kind + "/" +
+                             cell.name);
+                EngineConfig ecfg;
+                ecfg.useSfpf = cell.sfpf;
+                ecfg.usePgu = cell.pgu;
+                expectEquivalent(runReference(trace, kind, ecfg),
+                                 runFast(dec, kind, ecfg));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replay-schedule cache: the first fast replay of a (range, config,
+// entry state) runs the define kernel and records a schedule on the
+// trace; every later identical replay takes the hit path (cached
+// guards, word-at-a-time PGU drain, restored predicate-file exit
+// state). Both paths must be bit-identical to the reference loop -
+// and to each other - or the sweep use case (one trace, many
+// predictors) silently simulates two different machines.
+
+TEST(FastReplayEquivalence, ScheduleCacheHitMatchesReference)
+{
+    for (const char *wl : {"interp", "fsm", "listwalk"}) {
+        RecordedTrace trace = recordWorkload(wl, 40000);
+        DecodedTrace dec = DecodedTrace::build(trace);
+        for (const auto &[name, ecfg] : configGrid()) {
+            SCOPED_TRACE(std::string(wl) + "/" + name);
+            const ReplayOutcome ref =
+                runReference(trace, "gshare", ecfg);
+            const ReplayOutcome miss = runFast(dec, "gshare", ecfg);
+            const ReplayOutcome hit = runFast(dec, "gshare", ecfg);
+            expectEquivalent(ref, miss);
+            expectEquivalent(ref, hit);
+            // A different predictor kind must reuse the same schedule
+            // (it is predictor-independent) and still match ITS
+            // reference.
+            expectEquivalent(runReference(trace, "perceptron", ecfg),
+                             runFast(dec, "perceptron", ecfg));
+        }
+    }
+}
+
+TEST(FastReplayEquivalence, ChunkedScheduleCacheHitMatches)
+{
+    // Chunked replay captures one schedule per chunk (keyed on the
+    // carried predicate state); a second chunked pass hits every one.
+    RecordedTrace trace = recordWorkload("interp", 40000);
+    DecodedTrace dec = DecodedTrace::build(trace);
+    EngineConfig ecfg;
+    ecfg.useSfpf = true;
+    ecfg.usePgu = true;
+
+    const ReplayOutcome oneshot = runFast(dec, "gshare", ecfg);
+    for (int pass = 0; pass < 2; ++pass) {
+        PredictorPtr pred = makePredictor("gshare", 12);
+        PredictionEngine engine(*pred, ecfg);
+        std::uint64_t cursor = 0;
+        while (cursor < dec.size())
+            cursor = engine.processBatch(dec, cursor, 7777);
+        SCOPED_TRACE(pass == 0 ? "capture pass" : "hit pass");
+        EXPECT_EQ(engine.stats(), oneshot.stats);
+        EXPECT_EQ(engine.branchProfile(), oneshot.profile);
+        EXPECT_EQ(engine.pguBitsInserted(), oneshot.pguBits);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoded-trace files: a mapped trace must behave byte-for-byte like
+// the in-memory build it was saved from, and damage must surface as
+// TYPED errors, never as a crash or a silently different replay.
+
+TEST(DecodedTraceFile, MmapMatchesInMemory)
+{
+    RecordedTrace trace = recordWorkload("filter", 30000);
+    DecodedTrace dec = DecodedTrace::build(trace);
+    const std::string path = tempPath("decoded.pabpdtf");
+    ASSERT_TRUE(saveDecodedTraceFile(dec, path).ok());
+
+    Expected<DecodedTrace> mapped = mapDecodedTraceFile(path);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().toString();
+    const DecodedTrace &mm = mapped.value();
+
+    // Lane bytes, not just semantics.
+    ASSERT_EQ(mm.size(), dec.size());
+    const std::size_t n = dec.size();
+    EXPECT_EQ(std::memcmp(mm.pcs, dec.pcs, n * 4), 0);
+    EXPECT_EQ(std::memcmp(mm.nextPcs, dec.nextPcs, n * 4), 0);
+    EXPECT_EQ(std::memcmp(mm.cls, dec.cls, n), 0);
+    EXPECT_EQ(std::memcmp(mm.flags, dec.flags, n), 0);
+    EXPECT_EQ(std::memcmp(mm.predReg0, dec.predReg0, n), 0);
+    EXPECT_EQ(std::memcmp(mm.predReg1, dec.predReg1, n), 0);
+    EXPECT_EQ(std::memcmp(mm.predVal, dec.predVal, n), 0);
+
+    // And the replay over the mapping matches the reference loop,
+    // miss and schedule-cache hit alike.
+    EngineConfig ecfg;
+    ecfg.useSfpf = true;
+    ecfg.usePgu = true;
+    const ReplayOutcome ref = runReference(trace, "gshare", ecfg);
+    expectEquivalent(ref, runFast(mm, "gshare", ecfg));
+    expectEquivalent(ref, runFast(mm, "gshare", ecfg));
+    std::remove(path.c_str());
+}
+
+TEST(DecodedTraceFile, TruncationIsTyped)
+{
+    RecordedTrace trace = recordWorkload("bsort", 8000);
+    DecodedTrace dec = DecodedTrace::build(trace);
+    const std::string path = tempPath("trunc.pabpdtf");
+    ASSERT_TRUE(saveDecodedTraceFile(dec, path).ok());
+    const std::string bytes = readFile(path);
+
+    // Torn anywhere - inside the header, the program section, or the
+    // lane region - the mapping must come back Truncated.
+    for (const std::size_t keep :
+         {std::size_t{10}, std::size_t{100}, bytes.size() - 1}) {
+        SCOPED_TRACE("keep=" + std::to_string(keep));
+        ASSERT_LT(keep, bytes.size());
+        {
+            std::ofstream out(path, std::ios::binary | std::ios::trunc);
+            out.write(bytes.data(),
+                      static_cast<std::streamsize>(keep));
+        }
+        Expected<DecodedTrace> mapped = mapDecodedTraceFile(path);
+        ASSERT_FALSE(mapped.ok());
+        EXPECT_EQ(mapped.status().code(), StatusCode::Truncated);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(DecodedTraceFile, CorruptionIsTyped)
+{
+    RecordedTrace trace = recordWorkload("bsort", 8000);
+    DecodedTrace dec = DecodedTrace::build(trace);
+    const std::string path = tempPath("corrupt.pabpdtf");
+    ASSERT_TRUE(saveDecodedTraceFile(dec, path).ok());
+    const std::string bytes = readFile(path);
+
+    auto mapWithFlip = [&](std::size_t at) {
+        std::string copy = bytes;
+        copy[at] = static_cast<char>(copy[at] ^ 0x40);
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(copy.data(),
+                  static_cast<std::streamsize>(copy.size()));
+        out.close();
+        return mapDecodedTraceFile(path);
+    };
+
+    {
+        // Magic damage: not our file at all.
+        Expected<DecodedTrace> mapped = mapWithFlip(2);
+        ASSERT_FALSE(mapped.ok());
+        EXPECT_EQ(mapped.status().code(), StatusCode::BadMagic);
+    }
+    {
+        // Header field damage: the header CRC catches it.
+        Expected<DecodedTrace> mapped = mapWithFlip(14);
+        ASSERT_FALSE(mapped.ok());
+        EXPECT_EQ(mapped.status().code(),
+                  StatusCode::ChecksumMismatch);
+    }
+    {
+        // Lane damage: the (default-on) lane CRC catches it.
+        Expected<DecodedTrace> mapped = mapWithFlip(bytes.size() - 1);
+        ASSERT_FALSE(mapped.ok());
+        EXPECT_EQ(mapped.status().code(),
+                  StatusCode::ChecksumMismatch);
+    }
+    std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------------
 // Cursor contracts.
 
@@ -398,24 +613,6 @@ TEST(ProcessResultFlags, SpecSquashedIsDistinctFromSquashed)
 // ---------------------------------------------------------------------
 // Sweep integration: the fast path is an execution strategy, not a
 // configuration - identical fingerprints, identical metric BYTES.
-
-std::string
-readFile(const std::string &path)
-{
-    std::ifstream in(path, std::ios::binary);
-    EXPECT_TRUE(in.good()) << path;
-    std::ostringstream text;
-    text << in.rdbuf();
-    return text.str();
-}
-
-std::string
-tempPath(const std::string &name)
-{
-    const auto *info =
-        ::testing::UnitTest::GetInstance()->current_test_info();
-    return ::testing::TempDir() + info->name() + "_" + name;
-}
 
 std::vector<RunSpec>
 sweepGrid(const std::string &dir, bool fast)
