@@ -9,8 +9,11 @@
  * BranchProfile are bit-identical - a fast path that drifts is not a
  * fast path, it is a different simulator.
  *
- * Reports instructions/sec per (workload, engine config) and writes
- * a machine-readable throughput record (--out, default
+ * Reports instructions/sec per (predictor, workload, engine config) -
+ * --predictor takes a comma-separated kind list, default
+ * "gshare,tage" so the devirtualised TAGE arm is gated alongside
+ * gshare - and writes a machine-readable throughput record (--out,
+ * default
  * BENCH_replay.json) in the pabp.metrics JSON format; the perf-smoke
  * stage of scripts/run_experiments.sh keeps it under version-control
  * adjacent paths. Unlike the sweep binaries this one times the host,
@@ -47,7 +50,8 @@ int
 main(int argc, char **argv)
 {
     Options opts = standardOptions();
-    opts.declare("predictor", "gshare", "base predictor kind");
+    opts.declare("predictor", "gshare,tage",
+                 "comma-separated predictor kinds to time");
     opts.declare("size-log2", "12", "predictor table size (log2)");
     opts.declare("repeats", "3",
                  "timed repetitions per loop; the best is reported");
@@ -59,15 +63,26 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(opts.integer("steps"));
     const std::uint64_t seed =
         static_cast<std::uint64_t>(opts.integer("seed"));
-    const std::string predictor = opts.str("predictor");
+    const std::string predictor_list = opts.str("predictor");
     const unsigned size_log2 =
         static_cast<unsigned>(opts.integer("size-log2"));
     const int repeats =
         std::max<int>(1, static_cast<int>(opts.integer("repeats")));
 
+    std::vector<std::string> predictors;
+    for (std::size_t pos = 0; pos <= predictor_list.size();) {
+        std::size_t comma = predictor_list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = predictor_list.size();
+        if (comma > pos)
+            predictors.push_back(
+                predictor_list.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+
     std::cout << "replay-hot: reference vs fast replay loop on "
-              << predictor << "-2^" << size_log2 << ", " << steps
-              << " steps\n\n";
+              << predictor_list << " at 2^" << size_log2 << ", "
+              << steps << " steps\n\n";
 
     struct Config
     {
@@ -81,13 +96,13 @@ main(int argc, char **argv)
     };
 
     MetricsExporter ex;
-    ex.setText("replay.predictor", predictor);
+    ex.setText("replay.predictor", predictor_list);
     ex.setInt("replay.size_log2", size_log2);
     ex.setInt("replay.steps", steps);
     ex.setInt("replay.repeats", repeats);
 
-    Table table({"workload", "config", "events", "ref-Mi/s",
-                 "fast-Mi/s", "speedup"});
+    Table table({"predictor", "workload", "config", "events",
+                 "ref-Mi/s", "fast-Mi/s", "speedup"});
     bool all_equal = true;
     double min_speedup = 0.0;
     bool have_speedup = false;
@@ -110,6 +125,9 @@ main(int argc, char **argv)
         const RecordedTrace recorded = recordTrace(rec_emu, steps);
         const DecodedTrace decoded = DecodedTrace::build(recorded);
 
+        // Predictor matrix inside the workload loop: the recorded and
+        // decoded traces are predictor-independent and shared.
+        for (const std::string &predictor : predictors)
         for (const Config &config : configs) {
             EngineConfig ecfg;
             ecfg.useSfpf = config.sfpf;
@@ -156,7 +174,8 @@ main(int argc, char **argv)
                 all_equal = false;
                 std::cerr << "FAILED: fast replay diverges from the "
                              "reference loop on "
-                          << name << " (" << config.label << ")\n";
+                          << name << " (" << predictor << ", "
+                          << config.label << ")\n";
             }
 
             const double events =
@@ -184,6 +203,7 @@ main(int argc, char **argv)
             }
 
             table.startRow();
+            table.cell(predictor);
             table.cell(name);
             table.cell(std::string(config.label));
             table.cell(static_cast<std::uint64_t>(decoded.size()));
@@ -191,8 +211,8 @@ main(int argc, char **argv)
             table.cell(fast_ips / 1e6, 1);
             table.cell(speedup, 2);
 
-            const std::string key =
-                "replay." + name + "." + config.label + ".";
+            const std::string key = "replay." + predictor + "." +
+                name + "." + config.label + ".";
             ex.setInt(key + "events", decoded.size());
             ex.setReal(key + "ref_insts_per_sec", ref_ips);
             ex.setReal(key + "fast_insts_per_sec", fast_ips);

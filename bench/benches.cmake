@@ -43,6 +43,7 @@ pabp_bench(bench_e16_pollution)
 pabp_bench(bench_e17_selective)
 pabp_bench(bench_e18_cross_input)
 pabp_bench(bench_e19_pgu_bases)
+pabp_bench(bench_e20_tage_h2p)
 
 pabp_bench(bench_replay_hot)
 

@@ -83,8 +83,13 @@ test "${PIPESTATUS[0]}" -eq 0
     if [ -z "$baseline_both" ]; then
         baseline_both=$(json_metric BENCH_replay.json replay.min_speedup)
     fi
+    # The predictor matrix covers the devirtualised specialisations
+    # worth gating: gshare (the classic path) and tage (folded
+    # histories make its batched loop the easiest to regress). The
+    # aggregate replay.min_speedup.both spans every predictor x
+    # workload cell, so tage is gated by the same threshold.
     build/bench/bench_replay_hot --steps 500000 \
-        --out BENCH_replay.json
+        --predictor gshare,tage --out BENCH_replay.json
     new_both=$(json_metric BENCH_replay.json replay.min_speedup.both)
     if [ -n "$baseline_both" ] && [ -n "$new_both" ]; then
         if awk -v n="$new_both" -v b="$baseline_both" \

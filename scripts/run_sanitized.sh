@@ -45,10 +45,15 @@ FUZZ_SEED=${FUZZ_SEED:-1}
 # tier; on a host without AVX2 the avx2 pass falls back to scalar and
 # is a harmless repeat. The fast-replay suite rides along so the whole
 # batched engine (collectStops consumers, schedule-cache capture and
-# hit paths) runs sanitized at each tier too.
+# hit paths) runs sanitized at each tier too. 'Tage|InjectContract'
+# pins the TAGE folded-history machinery (circular raw-history buffer
+# indexing, multi-bit injection, u-reset sweeps) and the
+# bulk-vs-sequential inject contract for every predictor kind - the
+# paths where a fold-width or wrap off-by-one would read garbage
+# without ever failing a plain assertion.
 for tier in scalar avx2; do
     PABP_SIMD=$tier ctest --test-dir "$BUILD_DIR" --output-on-failure \
-        -j "$(nproc)" -R 'Simd|FastReplay|DecodedTrace'
+        -j "$(nproc)" -R 'Simd|FastReplay|DecodedTrace|Tage|InjectContract'
 done
 
 if [ "${PABP_SKIP_TSAN:-0}" != "1" ]; then

@@ -8,10 +8,35 @@
 #include "bpred/local.hh"
 #include "bpred/perceptron.hh"
 #include "bpred/simple.hh"
+#include "bpred/tage.hh"
 #include "bpred/yags.hh"
 #include "util/logging.hh"
 
 namespace pabp {
+
+namespace {
+
+/**
+ * Report a derived size whose clamp actually engaged. The size
+ * derivations themselves (half tables, budget-matched rows) are
+ * documented contract (factory.hh); what must not stay silent is the
+ * *floor or cap* kicking in, where the predictor built is smaller
+ * than the derivation promises - a sweep label saying "2^12" while
+ * the predictor holds 2^1 rows is exactly the sort of thing that
+ * corrupts a paper's size axis unnoticed.
+ */
+void
+logClampedSize(const std::string &kind, const char *what,
+               unsigned effective, int nominal)
+{
+    if (static_cast<int>(effective) == nominal)
+        return;
+    pabp_warn(kind + ": nominal " + what + " " +
+              std::to_string(nominal) + " clamped to " +
+              std::to_string(effective));
+}
+
+} // anonymous namespace
 
 Expected<PredictorPtr>
 tryMakePredictor(const std::string &kind, unsigned entries_log2)
@@ -20,6 +45,19 @@ tryMakePredictor(const std::string &kind, unsigned entries_log2)
         return std::make_unique<StaticPredictor>(true);
     if (kind == "static-nottaken")
         return std::make_unique<StaticPredictor>(false);
+
+    // Every remaining kind sizes a table as 1 << entries_log2 (or a
+    // value derived from it). Validate ONCE, here, with a typed
+    // error: 0 breaks the "at least one index bit" invariant every
+    // predictor assumes, and >= 31 turns `1 << entries_log2` into
+    // overflow/UB before any constructor assert could fire. The
+    // ceiling matches the predictor ctor asserts (<= 24).
+    if (entries_log2 < 1 || entries_log2 > 24)
+        return Status(StatusCode::InvalidArgument,
+                      "entries_log2 " + std::to_string(entries_log2) +
+                          " out of range [1, 24] for predictor kind '" +
+                          kind + "'");
+
     if (kind == "bimodal")
         return std::make_unique<BimodalPredictor>(entries_log2);
     if (kind == "gshare")
@@ -27,12 +65,20 @@ tryMakePredictor(const std::string &kind, unsigned entries_log2)
     if (kind == "gag")
         return std::make_unique<GAgPredictor>(entries_log2);
     if (kind == "local") {
+        // Local history registers are capped at 10 bits (the classic
+        // PAg sizing); wider tables still get wider BHT/PHTs.
         unsigned local_bits = std::min(10u, entries_log2);
+        logClampedSize(kind, "local history bits", local_bits,
+                       static_cast<int>(entries_log2));
         return std::make_unique<LocalPredictor>(entries_log2, local_bits,
                                                 entries_log2);
     }
     if (kind == "yags") {
-        unsigned cache = entries_log2 > 1 ? entries_log2 - 1 : 1;
+        // Split budget: choice PHT at full size, each direction
+        // cache at half.
+        unsigned cache = std::max(1u, entries_log2 - 1);
+        logClampedSize(kind, "direction cache log2", cache,
+                       static_cast<int>(entries_log2) - 1);
         return std::make_unique<YagsPredictor>(entries_log2, cache);
     }
     if (kind == "agree")
@@ -41,13 +87,28 @@ tryMakePredictor(const std::string &kind, unsigned entries_log2)
     if (kind == "perceptron") {
         // Budget-match: rows sized so total bits track 2-bit tables.
         unsigned rows = entries_log2 > 7 ? entries_log2 - 7 : 1;
+        logClampedSize(kind, "row table log2", rows,
+                       static_cast<int>(entries_log2) - 7);
         return std::make_unique<PerceptronPredictor>(rows, 24);
     }
     if (kind == "comb") {
-        unsigned half = entries_log2 > 1 ? entries_log2 - 1 : 1;
+        unsigned half = std::max(1u, entries_log2 - 1);
+        logClampedSize(kind, "component table log2", half,
+                       static_cast<int>(entries_log2) - 1);
         return std::make_unique<CombiningPredictor>(
             std::make_unique<BimodalPredictor>(half),
             std::make_unique<GSharePredictor>(half), half);
+    }
+    if (kind == "tage") {
+        // Budget split: bimodal base at the requested size, each
+        // tagged table and the statistical corrector at a quarter.
+        TageConfig tcfg;
+        tcfg.baseLog2 = entries_log2;
+        tcfg.tableLog2 = entries_log2 > 2 ? entries_log2 - 2 : 1;
+        tcfg.scLog2 = tcfg.tableLog2;
+        logClampedSize(kind, "tagged table log2", tcfg.tableLog2,
+                       static_cast<int>(entries_log2) - 2);
+        return std::make_unique<TagePredictor>(tcfg);
     }
     return Status(StatusCode::NotFound,
                   "unknown predictor kind: " + kind);

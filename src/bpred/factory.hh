@@ -27,9 +27,16 @@ namespace pabp {
  *  - "yags"     - bimodal choice + tagged exception caches
  *  - "perceptron" - 24-bit-history perceptron, budget-matched rows
  *  - "comb"     - McFarling bimodal+gshare, each 2^(entries_log2-1)
+ *  - "tage"     - TAGE + statistical corrector: 2^entries_log2
+ *                 bimodal base, 4 tagged tables and a corrector
+ *                 table of 2^(entries_log2-2) each
  *
  * An unknown kind is a NotFound Status (kinds routinely arrive from
- * config files and command lines).
+ * config files and command lines). For every table-bearing kind,
+ * entries_log2 outside [1, 24] is an InvalidArgument Status -
+ * validated here, once, so `1 << entries_log2` never runs on a
+ * garbage width. Derived sizes whose floor/cap engaged (e.g. local's
+ * 10-bit history cap) are reported via pabp_warn.
  */
 Expected<PredictorPtr> tryMakePredictor(const std::string &kind,
                                         unsigned entries_log2);

@@ -5,6 +5,7 @@
 #include "bpred/combining.hh"
 #include "bpred/gshare.hh"
 #include "bpred/perceptron.hh"
+#include "bpred/tage.hh"
 #include "util/logging.hh"
 #include "util/simd.hh"
 
@@ -674,6 +675,8 @@ PredictionEngine::batchDispatch(const DecodedTrace &trace,
         batchLoop<UseSfpf, UsePgu, UseSpec>(*c, trace, first, count);
     else if (auto *p = dynamic_cast<PerceptronPredictor *>(&pred))
         batchLoop<UseSfpf, UsePgu, UseSpec>(*p, trace, first, count);
+    else if (auto *t = dynamic_cast<TagePredictor *>(&pred))
+        batchLoop<UseSfpf, UsePgu, UseSpec>(*t, trace, first, count);
     else
         batchLoop<UseSfpf, UsePgu, UseSpec>(pred, trace, first, count);
 }

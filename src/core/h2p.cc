@@ -1,0 +1,130 @@
+#include "core/h2p.hh"
+
+#include "util/logging.hh"
+
+namespace pabp {
+
+H2pClassification
+classifyH2p(const BranchProfile &baseline,
+            const std::vector<double> &cutoffs)
+{
+    for (std::size_t i = 0; i < cutoffs.size(); ++i) {
+        pabp_assert(cutoffs[i] > 0.0 && cutoffs[i] < 1.0);
+        pabp_assert(i == 0 || cutoffs[i] > cutoffs[i - 1]);
+    }
+
+    H2pClassification cls;
+    cls.cutoffs = cutoffs;
+    const unsigned tiers = static_cast<unsigned>(cutoffs.size()) + 1;
+    cls.tierBranches.assign(tiers, 0);
+    cls.tierMispredicts.assign(tiers, 0);
+    cls.tierLookups.assign(tiers, 0);
+    cls.evictedMispredicts =
+        baseline.evictedRemainder().mispredicts;
+
+    const auto ranked = baseline.topByMispredicts();
+    for (const auto &[pc, counters] : ranked)
+        cls.trackedMispredicts += counters.mispredicts;
+
+    // Walk the ranked list once; a tier closes when the running sum
+    // has reached its cutoff. A PC with zero mispredicts can never
+    // advance the sum past a cutoff, so zero-mispredict PCs land in
+    // the last tier even when earlier cutoffs were already met.
+    std::uint64_t running = 0;
+    unsigned tier = 0;
+    for (const auto &[pc, counters] : ranked) {
+        while (tier < tiers - 1 &&
+               (cls.trackedMispredicts == 0 ||
+                static_cast<double>(running) >=
+                    cutoffs[tier] *
+                        static_cast<double>(cls.trackedMispredicts)))
+            ++tier;
+        if (counters.mispredicts == 0)
+            tier = tiers - 1;
+        cls.tierOf.emplace(pc, tier);
+        cls.tierBranches[tier] += 1;
+        cls.tierMispredicts[tier] += counters.mispredicts;
+        cls.tierLookups[tier] += counters.lookups;
+        running += counters.mispredicts;
+    }
+    return cls;
+}
+
+std::vector<H2pTierCounters>
+aggregateByTier(const H2pClassification &cls,
+                const BranchProfile &variant)
+{
+    std::vector<H2pTierCounters> tiers(cls.numTiers());
+    const auto &entries = variant.entries();
+    for (const auto &[pc, tier] : cls.tierOf) {
+        auto it = entries.find(pc);
+        if (it == entries.end())
+            continue;
+        H2pTierCounters &agg = tiers[tier];
+        agg.mispredicts += it->second.mispredicts;
+        agg.lookups += it->second.lookups;
+        agg.sfpfSquashes += it->second.sfpfSquashes;
+        agg.pguInfluenced += it->second.pguInfluenced;
+        agg.matchedBranches += 1;
+    }
+    return tiers;
+}
+
+void
+exportH2pClassification(MetricsExporter &ex,
+                        const H2pClassification &cls,
+                        const std::string &prefix)
+{
+    ex.setInt(prefix + ".tiers", cls.numTiers());
+    for (std::size_t i = 0; i < cls.cutoffs.size(); ++i)
+        ex.setReal(prefix + ".cutoff" + std::to_string(i),
+                   cls.cutoffs[i]);
+    ex.setInt(prefix + ".baseline.tracked_mispredicts",
+              cls.trackedMispredicts);
+    ex.setInt(prefix + ".baseline.evicted_mispredicts",
+              cls.evictedMispredicts);
+    for (unsigned t = 0; t < cls.numTiers(); ++t) {
+        const std::string key =
+            prefix + ".tier" + std::to_string(t) + ".";
+        ex.setInt(key + "static_branches", cls.tierBranches[t]);
+        ex.setInt(key + "baseline_mispredicts",
+                  cls.tierMispredicts[t]);
+        ex.setInt(key + "baseline_lookups", cls.tierLookups[t]);
+        ex.setReal(key + "baseline_share",
+                   cls.trackedMispredicts
+                       ? static_cast<double>(cls.tierMispredicts[t]) /
+                           static_cast<double>(cls.trackedMispredicts)
+                       : 0.0);
+    }
+}
+
+void
+exportH2pVariant(MetricsExporter &ex, const std::string &label,
+                 const H2pClassification &cls,
+                 const std::vector<H2pTierCounters> &tiers,
+                 const std::string &prefix)
+{
+    pabp_assert(tiers.size() == cls.numTiers());
+    for (unsigned t = 0; t < cls.numTiers(); ++t) {
+        const std::string key = prefix + "." + label + ".tier" +
+            std::to_string(t) + ".";
+        const H2pTierCounters &agg = tiers[t];
+        ex.setInt(key + "mispredicts", agg.mispredicts);
+        ex.setInt(key + "lookups", agg.lookups);
+        ex.setInt(key + "sfpf_squashes", agg.sfpfSquashes);
+        ex.setInt(key + "pgu_influenced", agg.pguInfluenced);
+        ex.setInt(key + "matched_branches", agg.matchedBranches);
+        // Signed delta as a real: setInt is unsigned and the whole
+        // point is that improvements are negative.
+        ex.setReal(key + "mispredict_delta",
+                   static_cast<double>(agg.mispredicts) -
+                       static_cast<double>(cls.tierMispredicts[t]));
+        ex.setReal(key + "mispredict_rel",
+                   cls.tierMispredicts[t]
+                       ? static_cast<double>(agg.mispredicts) /
+                           static_cast<double>(cls.tierMispredicts[t])
+                       : 0.0);
+    }
+}
+
+} // namespace pabp

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Hard-to-predict (H2P) branch tiering over BranchProfile tables.
+ *
+ * The branch-predictability literature (Lin & Tarsa's "Branch
+ * Prediction Is Not a Solved Problem", PAPERS.md) observes that the
+ * residual mispredicts of a modern predictor concentrate in a small
+ * set of static branches. This module makes that set a first-class
+ * measurement axis: classify the static PCs of a *baseline* run into
+ * tiers by cumulative share of mispredicts, then re-aggregate any
+ * *variant* run's per-PC counters over those same PC sets, so
+ * "did SFPF/PGU help the H2P branches specifically?" has a
+ * byte-stable numeric answer (bench_e20_tage_h2p).
+ *
+ * Tier 0 is the H2P set: the fewest static branches whose cumulative
+ * mispredicts first reach cutoff[0] (default 50%) of the baseline's
+ * tracked mispredicts. Tier 1 extends coverage to cutoff[1] (default
+ * 90%), the last tier holds the remaining tracked PCs. The profile's
+ * evicted remainder cannot be tiered (its PCs are gone) and is
+ * reported separately - nothing is silently dropped.
+ *
+ * Metric names exported here are documented in docs/OBSERVABILITY.md.
+ */
+
+#ifndef PABP_CORE_H2P_HH
+#define PABP_CORE_H2P_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/branch_profile.hh"
+#include "util/metrics.hh"
+
+namespace pabp {
+
+/** A baseline profile's static PCs partitioned into H2P tiers. */
+struct H2pClassification
+{
+    /** Cumulative-mispredict-share cutoffs that defined the tiers. */
+    std::vector<double> cutoffs;
+    /** Tier index per tracked baseline PC (0 = hardest). */
+    std::map<std::uint32_t, unsigned> tierOf;
+    /** Static branches per tier. */
+    std::vector<std::uint64_t> tierBranches;
+    /** Baseline mispredicts per tier. */
+    std::vector<std::uint64_t> tierMispredicts;
+    /** Baseline lookups per tier. */
+    std::vector<std::uint64_t> tierLookups;
+    /** Tracked baseline mispredicts (sum over tiers). */
+    std::uint64_t trackedMispredicts = 0;
+    /** Baseline mispredicts folded into the eviction remainder. */
+    std::uint64_t evictedMispredicts = 0;
+
+    unsigned numTiers() const
+    {
+        return static_cast<unsigned>(tierBranches.size());
+    }
+};
+
+/** Per-tier re-aggregation of one variant run over baseline tiers. */
+struct H2pTierCounters
+{
+    std::uint64_t mispredicts = 0;
+    std::uint64_t lookups = 0;
+    std::uint64_t sfpfSquashes = 0;
+    std::uint64_t pguInfluenced = 0;
+    /** Tier PCs the variant profile still tracked (coverage check:
+     *  eviction order can differ between configs). */
+    std::uint64_t matchedBranches = 0;
+};
+
+/**
+ * Tier @p baseline's tracked PCs by cumulative residual mispredict
+ * share. PCs are ranked mispredicts-desc (ties: PC asc, the
+ * topByMispredicts order), and each tier closes as soon as the
+ * running mispredict sum reaches the next cutoff. @p cutoffs must be
+ * strictly increasing, in (0, 1); tiers = cutoffs.size() + 1. A
+ * baseline with zero tracked mispredicts puts every PC in the last
+ * (easy) tier.
+ */
+H2pClassification
+classifyH2p(const BranchProfile &baseline,
+            const std::vector<double> &cutoffs = {0.5, 0.9});
+
+/**
+ * Re-aggregate @p variant's per-PC counters over @p cls's tier sets.
+ * Tier PCs absent from the variant's tracked table contribute
+ * nothing (and are visible via matchedBranches).
+ */
+std::vector<H2pTierCounters>
+aggregateByTier(const H2pClassification &cls,
+                const BranchProfile &variant);
+
+/**
+ * Export the classification summary under "<prefix>.*" (tier sizes
+ * and baseline shares) - call once per baseline. @p prefix defaults
+ * to "h2p"; benches sweeping several workloads scope it as
+ * "h2p.<workload>".
+ */
+void exportH2pClassification(MetricsExporter &ex,
+                             const H2pClassification &cls,
+                             const std::string &prefix = "h2p");
+
+/**
+ * Export one variant's per-tier counters and deltas against the
+ * baseline under "<prefix>.<label>.tier<i>.*". Deltas are
+ * variant - baseline mispredicts over the same PC set (negative =
+ * the variant helped that tier).
+ */
+void exportH2pVariant(MetricsExporter &ex, const std::string &label,
+                      const H2pClassification &cls,
+                      const std::vector<H2pTierCounters> &tiers,
+                      const std::string &prefix = "h2p");
+
+} // namespace pabp
+
+#endif // PABP_CORE_H2P_HH

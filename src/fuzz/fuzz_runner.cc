@@ -20,6 +20,7 @@ mix(std::uint64_t seed, std::uint64_t stream)
 const char *const predictorKinds[] = {
     "static-taken", "static-nottaken", "bimodal", "gshare", "gag",
     "local",        "agree",           "yags",    "perceptron", "comb",
+    "tage",
 };
 
 /** Engine-flag combinations a campaign cycles through: the E6 axis

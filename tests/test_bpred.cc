@@ -278,12 +278,56 @@ TEST(Factory, BuildsEveryKind)
 {
     for (const char *kind :
          {"static-taken", "static-nottaken", "bimodal", "gshare", "gag",
-          "local", "comb"}) {
+          "local", "agree", "yags", "perceptron", "comb", "tage"}) {
         PredictorPtr pred = makePredictor(kind, 10);
         ASSERT_NE(pred, nullptr) << kind;
         pred->predict(1);
         pred->update(1, true);
         pred->reset();
+    }
+}
+
+TEST(Factory, RejectsOutOfRangeSizeWithTypedError)
+{
+    // 0 and >= 31 used to reach `1 << entries_log2` table sizing
+    // unvalidated; both must now fail with InvalidArgument, not UB
+    // or a constructor panic.
+    for (unsigned bad : {0u, 25u, 31u, 64u}) {
+        for (const char *kind : {"gshare", "tage", "yags", "local"}) {
+            Expected<PredictorPtr> made = tryMakePredictor(kind, bad);
+            ASSERT_FALSE(made.ok()) << kind << " at " << bad;
+            EXPECT_EQ(made.status().code(),
+                      StatusCode::InvalidArgument)
+                << kind << " at " << bad;
+        }
+    }
+    // The static kinds ignore entries_log2 and stay constructible.
+    EXPECT_TRUE(tryMakePredictor("static-taken", 0).ok());
+}
+
+TEST(Factory, UnknownKindIsNotFound)
+{
+    Expected<PredictorPtr> made = tryMakePredictor("oracle", 10);
+    ASSERT_FALSE(made.ok());
+    EXPECT_EQ(made.status().code(), StatusCode::NotFound);
+}
+
+TEST(Factory, ExtremeValidSizesBuildEveryKind)
+{
+    // The clamp floors (yags' cache, comb's halves, perceptron's
+    // rows, tage's tagged tables) must keep the whole valid range
+    // constructible, bottom edge included.
+    for (unsigned size : {1u, 2u, 24u}) {
+        for (const char *kind :
+             {"bimodal", "gshare", "gag", "local", "agree", "yags",
+              "perceptron", "comb", "tage"}) {
+            Expected<PredictorPtr> made = tryMakePredictor(kind, size);
+            ASSERT_TRUE(made.ok())
+                << kind << " at " << size << ": "
+                << made.status().toString();
+            made.value()->predict(4);
+            made.value()->update(4, true);
+        }
     }
 }
 

@@ -91,7 +91,8 @@ TEST(FuzzCorpus, CoversEveryPredictorKind)
                                  "bimodal",      "gshare",
                                  "gag",          "local",
                                  "agree",        "yags",
-                                 "perceptron",   "comb"};
+                                 "perceptron",   "comb",
+                                 "tage"};
     std::set<std::string> seen;
     for (const std::string &path : corpusPaths()) {
         Expected<FuzzCase> parsed = readCaseFile(path);

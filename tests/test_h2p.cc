@@ -1,0 +1,133 @@
+/**
+ * @file
+ * H2P tiering tests (core/h2p.hh): cumulative-share classification,
+ * variant re-aggregation over baseline tiers, and the exported
+ * metric names documented in docs/OBSERVABILITY.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/h2p.hh"
+
+namespace pabp {
+namespace {
+
+/** Baseline with a textbook skew: one branch owns 60% of the
+ *  mispredicts, the next two reach 90%, the tail barely misses. */
+BranchProfile
+skewedBaseline()
+{
+    BranchProfile profile;
+    auto set = [&](std::uint32_t pc, std::uint64_t lookups,
+                   std::uint64_t misp) {
+        BranchProfile::Counters &c = profile.at(pc);
+        c.lookups = lookups;
+        c.mispredicts = misp;
+    };
+    set(0x100, 10000, 600);
+    set(0x200, 8000, 200);
+    set(0x300, 6000, 100);
+    set(0x400, 4000, 60);
+    set(0x500, 2000, 40);
+    set(0x600, 9000, 0);
+    return profile;
+}
+
+TEST(H2p, ClassifiesByCumulativeShare)
+{
+    const H2pClassification cls = classifyH2p(skewedBaseline());
+    ASSERT_EQ(cls.numTiers(), 3u);
+    EXPECT_EQ(cls.trackedMispredicts, 1000u);
+
+    // 0x100 alone reaches the 50% cutoff; 0x200+0x300 extend to 90%.
+    EXPECT_EQ(cls.tierOf.at(0x100), 0u);
+    EXPECT_EQ(cls.tierOf.at(0x200), 1u);
+    EXPECT_EQ(cls.tierOf.at(0x300), 1u);
+    EXPECT_EQ(cls.tierOf.at(0x400), 2u);
+    EXPECT_EQ(cls.tierOf.at(0x500), 2u);
+    // Zero-mispredict branches are never "hard" regardless of where
+    // the cutoffs landed.
+    EXPECT_EQ(cls.tierOf.at(0x600), 2u);
+
+    EXPECT_EQ(cls.tierBranches[0], 1u);
+    EXPECT_EQ(cls.tierBranches[1], 2u);
+    EXPECT_EQ(cls.tierBranches[2], 3u);
+    EXPECT_EQ(cls.tierMispredicts[0], 600u);
+    EXPECT_EQ(cls.tierMispredicts[1], 300u);
+    EXPECT_EQ(cls.tierMispredicts[2], 100u);
+}
+
+TEST(H2p, ZeroMispredictBaselineGoesToLastTier)
+{
+    BranchProfile profile;
+    profile.at(0x10).lookups = 50;
+    profile.at(0x20).lookups = 50;
+    const H2pClassification cls = classifyH2p(profile);
+    EXPECT_EQ(cls.trackedMispredicts, 0u);
+    EXPECT_EQ(cls.tierOf.at(0x10), 2u);
+    EXPECT_EQ(cls.tierOf.at(0x20), 2u);
+}
+
+TEST(H2p, AggregateTracksMissingPcsViaMatchedBranches)
+{
+    const H2pClassification cls = classifyH2p(skewedBaseline());
+
+    BranchProfile variant;
+    variant.at(0x100).mispredicts = 400; // improved
+    variant.at(0x100).lookups = 10000;
+    variant.at(0x200).mispredicts = 210; // slightly worse
+    variant.at(0x200).lookups = 8000;
+    // 0x300 evicted in the variant run - contributes nothing.
+
+    const auto tiers = aggregateByTier(cls, variant);
+    ASSERT_EQ(tiers.size(), 3u);
+    EXPECT_EQ(tiers[0].mispredicts, 400u);
+    EXPECT_EQ(tiers[0].matchedBranches, 1u);
+    EXPECT_EQ(tiers[1].mispredicts, 210u);
+    EXPECT_EQ(tiers[1].matchedBranches, 1u);
+    EXPECT_EQ(tiers[2].matchedBranches, 0u);
+}
+
+TEST(H2p, ExportsDocumentedMetricNames)
+{
+    const H2pClassification cls = classifyH2p(skewedBaseline());
+    BranchProfile variant = skewedBaseline();
+    variant.at(0x100).mispredicts = 500;
+    const auto tiers = aggregateByTier(cls, variant);
+
+    MetricsExporter ex;
+    exportH2pClassification(ex, cls, "h2p.wl");
+    exportH2pVariant(ex, "both", cls, tiers, "h2p.wl");
+    std::ostringstream os;
+    ex.writeJson(os);
+    const std::string json = os.str();
+
+    for (const char *key :
+         {"\"h2p.wl.tiers\": 3",
+          "\"h2p.wl.tier0.static_branches\": 1",
+          "\"h2p.wl.tier0.baseline_mispredicts\": 600",
+          "\"h2p.wl.both.tier0.mispredicts\": 500",
+          "\"h2p.wl.both.tier0.mispredict_delta\": -100",
+          "\"h2p.wl.both.tier0.matched_branches\": 1"})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+}
+
+TEST(H2p, EvictedRemainderIsReportedNotTiered)
+{
+    BranchProfile profile(2); // capacity 2 forces eviction
+    for (std::uint32_t pc = 0; pc < 8; ++pc) {
+        BranchProfile::Counters &c = profile.at(pc * 4);
+        c.lookups = 100;
+        c.mispredicts = 10 + pc;
+    }
+    const H2pClassification cls = classifyH2p(profile);
+    EXPECT_EQ(cls.tierOf.size(), profile.entries().size());
+    EXPECT_EQ(cls.evictedMispredicts,
+              profile.evictedRemainder().mispredicts);
+    EXPECT_GT(cls.evictedMispredicts, 0u);
+}
+
+} // namespace
+} // namespace pabp

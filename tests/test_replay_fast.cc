@@ -200,14 +200,15 @@ TEST(DecodedTraceLanes, ClassLaneMatchesDispatchRules)
 // ---------------------------------------------------------------------
 // Equivalence across the predictor axis (the E2 grid): every factory
 // kind, base and fully-armed configs. Covers the devirtualised
-// predictors (gshare, comb, perceptron) and the generic fallback.
+// predictors (gshare, comb, perceptron, tage) and the generic
+// fallback.
 
 TEST(FastReplayEquivalence, EveryPredictorKind)
 {
     static const char *const kinds[] = {
         "static-taken", "static-nottaken", "bimodal", "gshare",
         "gag",          "local",           "agree",   "yags",
-        "perceptron",   "comb"};
+        "perceptron",   "comb",            "tage"};
 
     for (const char *wl : {"interp", "bsort"}) {
         RecordedTrace trace = recordWorkload(wl, 40000);
@@ -303,7 +304,8 @@ TEST(FastReplayEquivalence, EveryEngineConfig)
 
 // The history-carrying predictors with their own injectHistoryBits
 // fast paths (perceptron's SIMD dot/train, yags' tagged tables through
-// the generic fallback) get the full predicate-config axis, not just
+// the generic fallback, tage's folded-history re-fold on its
+// devirtualised arm) get the full predicate-config axis, not just
 // the base/+both corners of EveryPredictorKind: each config arms a
 // different slice of the schedule-cache machinery.
 
@@ -323,7 +325,8 @@ TEST(FastReplayEquivalence, PerceptronAndYagsAcrossConfigs)
     for (const char *wl : {"interp", "fsm"}) {
         RecordedTrace trace = recordWorkload(wl, 40000);
         DecodedTrace dec = DecodedTrace::build(trace);
-        for (const char *kind : {"perceptron", "yags", "comb"}) {
+        for (const char *kind : {"perceptron", "yags", "comb",
+                                 "tage"}) {
             for (const Cell &cell : cells) {
                 SCOPED_TRACE(std::string(wl) + "/" + kind + "/" +
                              cell.name);
