@@ -9,6 +9,13 @@
  * branch) with and without the filter, alongside the mispredict rate
  * of the *unfiltered* branches only - isolating the "cleaner tables"
  * effect from the "free not-taken predictions" effect.
+ *
+ * The --contexts axis (declareContextOptions) adds the OTHER
+ * pollution source: with N > 1 the same tables additionally absorb
+ * lookups and training from N-1 unrelated trace contexts
+ * (core/multictx.hh), so the conflict counts separate same-stream
+ * aliasing from cross-context aliasing under the identical filter
+ * comparison.
  */
 
 #include "common.hh"
@@ -20,14 +27,20 @@ int
 main(int argc, char **argv)
 {
     Options opts = standardOptions();
+    declareContextOptions(opts);
     if (!opts.parse(argc, argv))
         return 0;
     std::uint64_t steps =
         static_cast<std::uint64_t>(opts.integer("steps"));
     std::uint64_t seed = static_cast<std::uint64_t>(opts.integer("seed"));
+    const ContextSpec context = contextSpecFromOptions(opts);
 
     std::cout << "E16: gshare table pollution with/without the filter "
-                 "(4K entries)\n\n";
+                 "(4K entries";
+    if (context.contexts > 1)
+        std::cout << ", " << context.contexts << " contexts, "
+                  << scheduleKindName(context.schedule);
+    std::cout << ")\n\n";
 
     // workloads x {base, +SFPF}, both with conflict profiling on.
     std::vector<RunSpec> specs;
@@ -37,6 +50,7 @@ main(int argc, char **argv)
         base.profileConflicts = true;
         base.maxInsts = steps;
         base.seed = seed;
+        base.context = context;
         specs.push_back(base);
 
         RunSpec with = base;

@@ -18,6 +18,8 @@
  * docs/OBSERVABILITY.md.
  */
 
+#include <sstream>
+
 #include "common.hh"
 #include "core/h2p.hh"
 #include "util/metrics.hh"
@@ -33,6 +35,9 @@ main(int argc, char **argv)
     opts.declare("h2p-out", "BENCH_tage_h2p.json",
                  "aggregate H2P summary path (pabp.metrics JSON; "
                  "empty = skip)");
+    opts.declare("h2p-cutoffs", "0.5,0.9",
+                 "cumulative mispredict-share tier cutoffs "
+                 "(comma-separated, strictly increasing, in (0,1))");
     if (!opts.parse(argc, argv))
         return 0;
     std::uint64_t steps =
@@ -40,6 +45,27 @@ main(int argc, char **argv)
     std::uint64_t seed = static_cast<std::uint64_t>(opts.integer("seed"));
     const unsigned size_log2 =
         static_cast<unsigned>(opts.integer("size-log2"));
+
+    // Range/ordering problems surface later as classifyH2p's typed
+    // InvalidArgument; only non-numeric text is rejected here.
+    std::vector<double> cutoffs;
+    {
+        std::stringstream ss(opts.str("h2p-cutoffs"));
+        std::string tok;
+        while (std::getline(ss, tok, ',')) {
+            if (tok.empty())
+                continue;
+            try {
+                cutoffs.push_back(std::stod(tok));
+            } catch (const std::exception &) {
+                std::cerr << "FAILED: --h2p-cutoffs: '" << tok
+                          << "' is not a number\n";
+                return 1;
+            }
+        }
+    }
+    const unsigned ntiers =
+        static_cast<unsigned>(cutoffs.size()) + 1;
 
     struct Config
     {
@@ -87,13 +113,20 @@ main(int argc, char **argv)
                  "+sfpf d", "+pgu d", "+both d"});
     // Suite-level per-(config, tier) sums for the quick read.
     std::vector<std::vector<double>> suiteDelta(
-        ncfg, std::vector<double>(3, 0.0));
+        ncfg, std::vector<double>(ntiers, 0.0));
 
     std::size_t idx = 0;
     for (const std::string &name : workloadNames()) {
         const std::size_t base_idx = idx;
         const BranchProfile &baseline = results[base_idx].profile;
-        const H2pClassification cls = classifyH2p(baseline);
+        const Expected<H2pClassification> classified =
+            classifyH2p(baseline, cutoffs);
+        if (!classified.ok()) {
+            std::cerr << "FAILED: --h2p-cutoffs: "
+                      << classified.status().toString() << "\n";
+            return 1;
+        }
+        const H2pClassification &cls = classified.value();
         const std::string prefix = "h2p." + name;
         exportH2pClassification(summary, cls, prefix);
 
@@ -127,7 +160,7 @@ main(int argc, char **argv)
     }
 
     for (std::size_t c = 0; c < ncfg; ++c)
-        for (unsigned t = 0; t < 3; ++t)
+        for (unsigned t = 0; t < ntiers; ++t)
             summary.setReal("h2p.suite." +
                                 std::string(configs[c].label) +
                                 ".tier" + std::to_string(t) +

@@ -44,6 +44,7 @@ pabp_bench(bench_e17_selective)
 pabp_bench(bench_e18_cross_input)
 pabp_bench(bench_e19_pgu_bases)
 pabp_bench(bench_e20_tage_h2p)
+pabp_bench(bench_e21_interference)
 
 pabp_bench(bench_replay_hot)
 

@@ -126,6 +126,54 @@ fastReplayFromOptions(const Options &opts)
     return opts.flag("fast-replay") && !opts.flag("no-fast-replay");
 }
 
+/** Declare the multi-context replay options (bench E21 and any
+ *  binary growing a contexts axis). Declared separately from
+ *  standardOptions() so single-stream binaries keep a small --help. */
+inline void
+declareContextOptions(Options &opts)
+{
+    opts.declare("contexts", "1",
+                 "independent trace contexts interleaved through the "
+                 "shared predictor (1 = ordinary single-stream run)");
+    opts.declare("ctx-schedule", "rr",
+                 "context interleaving: 'rr' (round-robin) or "
+                 "'bursty' (seeded random bursts)");
+    opts.declare("ctx-quantum", "1024",
+                 "events per round-robin slice (burst midpoint for "
+                 "--ctx-schedule bursty)");
+    opts.declare("ctx-seed", "1", "bursty schedule draw seed");
+    opts.declare("ctx-shared", "1",
+                 "share global history (and BTB/RAS when modelled) "
+                 "across contexts; 0 = private per-context history");
+    opts.declare("ctx-tag-bits", "0",
+                 "context-id bits mixed into shared table indices "
+                 "(0 = pure sharing)");
+}
+
+/** Parse the declareContextOptions() block into a ContextSpec. A bad
+ *  --ctx-schedule is fatal here (CLI shim layer, util/status.hh). */
+inline ContextSpec
+contextSpecFromOptions(const Options &opts)
+{
+    ContextSpec ctx;
+    ctx.contexts = static_cast<unsigned>(
+        std::max<std::int64_t>(1, opts.integer("contexts")));
+    Expected<ScheduleKind> kind =
+        parseScheduleKind(opts.str("ctx-schedule"));
+    if (!kind.ok())
+        pabp_fatal("bad --ctx-schedule: " +
+                   kind.status().toString());
+    ctx.schedule = kind.value();
+    ctx.quantum = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(1, opts.integer("ctx-quantum")));
+    ctx.scheduleSeed =
+        static_cast<std::uint64_t>(opts.integer("ctx-seed"));
+    ctx.shared = opts.flag("ctx-shared");
+    ctx.tagBits =
+        static_cast<unsigned>(opts.integer("ctx-tag-bits"));
+    return ctx;
+}
+
 /** Copy the standard checkpoint + metrics + replay-strategy options
  *  into a run spec. */
 inline void

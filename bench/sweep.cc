@@ -14,6 +14,7 @@
 #include "bpred/factory.hh"
 #include "bpred/gshare.hh"
 #include "core/checkpoint.hh"
+#include "core/multictx.hh"
 #include "sim/emulator.hh"
 #include "util/metrics.hh"
 #include "util/stats.hh"
@@ -98,6 +99,15 @@ hashEngineConfig(Fnv &fnv, const EngineConfig &e)
     fnv.u32(e.pvpEntriesLog2);
     fnv.u32(static_cast<std::uint32_t>(e.specGate));
     fnv.u32(e.jrsEntriesLog2);
+    // Target-modelling fields fold in only when armed, so every
+    // direction-only spec keeps the fingerprint (and checkpoint /
+    // metrics file names) it had before the knob existed.
+    if (e.modelTargets) {
+        fnv.b(e.modelTargets);
+        fnv.u32(e.btbSetsLog2);
+        fnv.u32(e.btbWays);
+        fnv.u32(e.rasDepth);
+    }
 }
 
 /** Compiled-program cache key: everything that determines the
@@ -138,7 +148,11 @@ bool
 resumeFallsBackToFresh(const Status &status)
 {
     return status.code() == StatusCode::IoError ||
-        status.code() == StatusCode::InvalidArgument;
+        status.code() == StatusCode::InvalidArgument ||
+        // A checkpoint written by an older format version is not
+        // damage: the format comment in core/checkpoint.cc promises
+        // runners restart such cells from scratch.
+        status.code() == StatusCode::VersionMismatch;
 }
 
 /** Wall-clock deadline for one cell attempt (RunSpec::watchdogMillis).
@@ -187,6 +201,57 @@ class CellDeadline
     std::chrono::steady_clock::time_point at;
 };
 
+void
+accumulateClassStats(BranchClassStats &into,
+                     const BranchClassStats &from)
+{
+    into.branches += from.branches;
+    into.taken += from.taken;
+    into.mispredicts += from.mispredicts;
+    into.squashed += from.squashed;
+    into.falseGuard += from.falseGuard;
+}
+
+/** Field-wise sum, the across-context aggregate of a multi-context
+ *  cell (RunResult::engine). */
+void
+accumulateEngineStats(EngineStats &into, const EngineStats &from)
+{
+    into.insts += from.insts;
+    into.uncondBranches += from.uncondBranches;
+    into.predicateDefines += from.predicateDefines;
+    accumulateClassStats(into.all, from.all);
+    accumulateClassStats(into.region, from.region);
+    accumulateClassStats(into.normal, from.normal);
+    into.specSquashed += from.specSquashed;
+    into.specSquashedWrong += from.specSquashedWrong;
+    into.btbTargetMisses += from.btbTargetMisses;
+    into.rasHits += from.rasHits;
+    into.rasMisses += from.rasMisses;
+}
+
+/** The spec.* identity keys every cell's metrics document carries. */
+void
+exportSpecKeys(MetricsExporter &ex, const RunSpec &spec)
+{
+    ex.setText("spec.workload", spec.workload);
+    ex.setText("spec.predictor", spec.predictor);
+    ex.setText("spec.mode",
+               spec.mode == RunMode::Timed
+                   ? "timed"
+                   : spec.mode == RunMode::Observe ? "observe"
+                                                   : "trace");
+    ex.setInt("spec.size_log2", spec.sizeLog2);
+    ex.setInt("spec.seed", spec.seed);
+    ex.setInt("spec.compile_seed", resolvedCompileSeed(spec));
+    ex.setInt("spec.max_insts", spec.maxInsts);
+    const std::uint64_t fp = specFingerprint(spec);
+    char fp_hex[17];
+    std::snprintf(fp_hex, sizeof(fp_hex), "%016llx",
+                  static_cast<unsigned long long>(fp));
+    ex.setText("spec.fingerprint", fp_hex);
+}
+
 /**
  * Build one finished cell's metrics document
  * (docs/OBSERVABILITY.md). The engine must still be alive: the export
@@ -205,22 +270,7 @@ buildCellMetrics(const RunSpec &spec, const RunResult &result,
                  PredictionEngine *engine)
 {
     MetricsExporter ex;
-    ex.setText("spec.workload", spec.workload);
-    ex.setText("spec.predictor", spec.predictor);
-    ex.setText("spec.mode",
-               spec.mode == RunMode::Timed
-                   ? "timed"
-                   : spec.mode == RunMode::Observe ? "observe"
-                                                   : "trace");
-    ex.setInt("spec.size_log2", spec.sizeLog2);
-    ex.setInt("spec.seed", spec.seed);
-    ex.setInt("spec.compile_seed", resolvedCompileSeed(spec));
-    ex.setInt("spec.max_insts", spec.maxInsts);
-    const std::uint64_t fp = specFingerprint(spec);
-    char fp_hex[17];
-    std::snprintf(fp_hex, sizeof(fp_hex), "%016llx",
-                  static_cast<unsigned long long>(fp));
-    ex.setText("spec.fingerprint", fp_hex);
+    exportSpecKeys(ex, spec);
 
     StatGroup group;
     if (engine) {
@@ -256,19 +306,63 @@ buildCellMetrics(const RunSpec &spec, const RunResult &result,
 }
 
 /**
- * The cell's observational outputs: capture the metrics document
- * into the result (RunSpec::captureMetrics) and/or export it to a
- * per-cell file (RunSpec::metricsDir). A cell that cannot write its
- * file FAILS with IoError - a sweep that silently lost its
- * measurements would be worse than one that failed loudly.
+ * Metrics document for a multi-context cell. Per-context numbers go
+ * under "ctx<N>.*" and the across-context aggregate under "engine.*";
+ * per-PC profiles stay in RunResult::contexts, where benches consume
+ * them directly (e.g. the per-tier H2P deltas in E21).
+ */
+MetricsExporter
+buildMultiCtxMetrics(const RunSpec &spec, const RunResult &result)
+{
+    MetricsExporter ex;
+    exportSpecKeys(ex, spec);
+    ex.setInt("spec.contexts", spec.context.contexts);
+    ex.setText("spec.ctx_schedule",
+               scheduleKindName(spec.context.schedule));
+    ex.setInt("spec.ctx_quantum", spec.context.quantum);
+    ex.setInt("spec.ctx_seed", spec.context.scheduleSeed);
+    ex.setInt("spec.ctx_shared", spec.context.shared ? 1 : 0);
+    ex.setInt("spec.ctx_tag_bits", spec.context.tagBits);
+
+    ex.setInt("compile.num_regions", result.numRegions);
+    ex.setInt("compile.num_region_branches", result.numRegionBranches);
+
+    const auto exportStats = [&](const std::string &prefix,
+                                 const EngineStats &s,
+                                 std::uint64_t pgu_bits) {
+        ex.setInt(prefix + "insts", s.insts);
+        ex.setInt(prefix + "branches", s.all.branches);
+        ex.setInt(prefix + "mispredicts", s.all.mispredicts);
+        ex.setReal(prefix + "mispredict_rate",
+                   s.all.mispredictRate());
+        ex.setReal(prefix + "mpki", s.mpki());
+        ex.setInt(prefix + "pgu_bits", pgu_bits);
+        if (spec.engine.modelTargets) {
+            ex.setInt(prefix + "btb_target_misses",
+                      s.btbTargetMisses);
+            ex.setInt(prefix + "ras_hits", s.rasHits);
+            ex.setInt(prefix + "ras_misses", s.rasMisses);
+        }
+    };
+    exportStats("engine.", result.engine, result.pguBits);
+    for (std::size_t c = 0; c < result.contexts.size(); ++c)
+        exportStats("ctx" + std::to_string(c) + ".",
+                    result.contexts[c].engine,
+                    result.contexts[c].pguBits);
+    return ex;
+}
+
+/**
+ * Shared tail of the cell-output paths: capture an already-built
+ * metrics document into the result (RunSpec::captureMetrics) and/or
+ * export it to a per-cell file (RunSpec::metricsDir). A cell that
+ * cannot write its file FAILS with IoError - a sweep that silently
+ * lost its measurements would be worse than one that failed loudly.
  */
 Status
-finishCellOutputs(const RunSpec &spec, RunResult &result,
-                  PredictionEngine *engine)
+writeCellOutputs(const RunSpec &spec, RunResult &result,
+                 const MetricsExporter &ex)
 {
-    if (spec.metricsDir.empty() && !spec.captureMetrics)
-        return Status();
-    const MetricsExporter ex = buildCellMetrics(spec, result, engine);
     if (spec.captureMetrics) {
         std::ostringstream os;
         ex.writeJson(os);
@@ -285,6 +379,27 @@ finishCellOutputs(const RunSpec &spec, RunResult &result,
             spec.metricsDir, specFingerprint(spec)));
     }
     return Status();
+}
+
+/** The single-engine cell's observational outputs. */
+Status
+finishCellOutputs(const RunSpec &spec, RunResult &result,
+                  PredictionEngine *engine)
+{
+    if (spec.metricsDir.empty() && !spec.captureMetrics)
+        return Status();
+    return writeCellOutputs(spec, result,
+                            buildCellMetrics(spec, result, engine));
+}
+
+/** The multi-context cell's observational outputs. */
+Status
+finishMultiCtxOutputs(const RunSpec &spec, RunResult &result)
+{
+    if (spec.metricsDir.empty() && !spec.captureMetrics)
+        return Status();
+    return writeCellOutputs(spec, result,
+                            buildMultiCtxMetrics(spec, result));
 }
 
 } // anonymous namespace
@@ -304,6 +419,17 @@ specFingerprint(const RunSpec &spec)
     hashCompileOptions(fnv, spec.compile, spec.ifConvert);
     fnv.u64(spec.maxInsts);
     fnv.b(spec.profileConflicts);
+    // Context interleaving folds in only for real multi-context
+    // cells: every single-stream spec keeps its historical print.
+    if (spec.context.contexts > 1) {
+        fnv.str("ctx");
+        fnv.u32(spec.context.contexts);
+        fnv.u32(static_cast<std::uint32_t>(spec.context.schedule));
+        fnv.u64(spec.context.quantum);
+        fnv.u64(spec.context.scheduleSeed);
+        fnv.b(spec.context.shared);
+        fnv.u32(spec.context.tagBits);
+    }
     return fnv.value();
 }
 
@@ -381,13 +507,14 @@ SweepRunner::compiledFor(const RunSpec &spec)
 
 Expected<SweepRunner::TraceHandle>
 SweepRunner::decodedFor(const RunSpec &spec,
-                        const ProgramHandle &program)
+                        const ProgramHandle &program,
+                        std::uint64_t seed)
 {
     // Recording is deterministic in (program, measurement seed,
     // budget): the same key always yields the same events, so the
     // decoded trace can be shared read-only like the program itself.
     std::string key = programCacheKey(spec) + ":" +
-        std::to_string(spec.seed) + ":" +
+        std::to_string(seed) + ":" +
         std::to_string(spec.maxInsts) + ":decoded";
 
     std::promise<TraceHandle> promise;
@@ -411,7 +538,7 @@ SweepRunner::decodedFor(const RunSpec &spec,
         if (!handle) {
             // The recording peer hit a workload error; re-derive it
             // from this spec's own view.
-            Expected<Workload> wl = materialiseWorkload(spec, spec.seed);
+            Expected<Workload> wl = materialiseWorkload(spec, seed);
             return wl.ok() ? Status(StatusCode::NotFound,
                                     "trace recording failed for " +
                                         spec.workload)
@@ -420,7 +547,7 @@ SweepRunner::decodedFor(const RunSpec &spec,
         return handle;
     }
 
-    Expected<Workload> wl = materialiseWorkload(spec, spec.seed);
+    Expected<Workload> wl = materialiseWorkload(spec, seed);
     if (!wl.ok()) {
         promise.set_value(nullptr);
         return wl.status();
@@ -606,8 +733,31 @@ SweepRunner::executeSpec(const RunSpec &spec)
         owned = std::move(made.value());
     }
 
+    if (spec.context.contexts > 1) {
+        // Multi-context cells interleave N independent instruction
+        // streams through the ONE predictor built above; they are
+        // replay-only and cannot serialise mid-run (the interleaved
+        // emulator/engine set has no checkpoint format).
+        if (spec.mode != RunMode::Timed && spec.checkpointEvery == 0 &&
+            spec.resumePath.empty())
+            return executeMultiCtx(spec, program.value(), *owned,
+                                   gshare, std::move(result));
+        result.status = Status(
+            StatusCode::InvalidArgument,
+            spec.mode == RunMode::Timed
+                ? "multi-context cells are Trace-mode only"
+                : "multi-context cells cannot checkpoint or resume");
+        return result;
+    }
+
     if (spec.mode == RunMode::Timed) {
-        PredictionEngine engine(*owned, spec.engine);
+        // The pipeline charges target penalties from the engine's
+        // BTB/RAS outcomes, so every Timed cell arms target
+        // modelling. Armed on a local copy AFTER fingerprinting:
+        // unconditional for the mode, it adds no information.
+        EngineConfig ecfg = spec.engine;
+        ecfg.modelTargets = true;
+        PredictionEngine engine(*owned, ecfg);
         Pipeline pipe(engine, spec.pipeline);
         Emulator emu(cp.prog);
         if (init)
@@ -629,7 +779,7 @@ SweepRunner::executeSpec(const RunSpec &spec)
     if (spec.fastReplay && spec.checkpointEvery == 0 &&
         spec.resumePath.empty()) {
         Expected<TraceHandle> decoded =
-            decodedFor(spec, program.value());
+            decodedFor(spec, program.value(), spec.seed);
         if (!decoded.ok()) {
             result.status = decoded.status();
             return result;
@@ -765,6 +915,80 @@ SweepRunner::executeSpec(const RunSpec &spec)
         result.conflicts = gshare->conflictCount();
     }
     result.status = finishCellOutputs(spec, result, &*engine);
+    return result;
+}
+
+RunResult
+SweepRunner::executeMultiCtx(const RunSpec &spec,
+                             const ProgramHandle &program,
+                             BranchPredictor &pred,
+                             GSharePredictor *gshare, RunResult result)
+{
+    const unsigned n = spec.context.contexts;
+    MultiCtxConfig mcfg;
+    mcfg.schedule.contexts = n;
+    mcfg.schedule.kind = spec.context.schedule;
+    mcfg.schedule.quantum = spec.context.quantum;
+    mcfg.schedule.seed = spec.context.scheduleSeed;
+    mcfg.sharedHistory = spec.context.shared;
+    mcfg.tagBits = spec.context.tagBits;
+    mcfg.engine = spec.engine;
+    MultiContextReplayer replayer(pred, mcfg);
+
+    if (spec.fastReplay) {
+        // Context c records with measurement seed spec.seed + c: the
+        // contexts are independent draws of the same workload, so the
+        // decoded lanes stay shareable across cells the usual way.
+        std::vector<TraceHandle> handles;
+        std::vector<const DecodedTrace *> traces;
+        handles.reserve(n);
+        traces.reserve(n);
+        for (unsigned c = 0; c < n; ++c) {
+            Expected<TraceHandle> decoded =
+                decodedFor(spec, program, spec.seed + c);
+            if (!decoded.ok()) {
+                result.status = decoded.status();
+                return result;
+            }
+            handles.push_back(decoded.value());
+            traces.push_back(handles.back().get());
+        }
+        replayer.replayDecoded(traces, spec.maxInsts);
+    } else {
+        std::vector<std::unique_ptr<Emulator>> owned_emus;
+        std::vector<Emulator *> emus;
+        for (unsigned c = 0; c < n; ++c) {
+            Expected<Workload> wl =
+                materialiseWorkload(spec, spec.seed + c);
+            if (!wl.ok()) {
+                result.status = wl.status();
+                return result;
+            }
+            owned_emus.push_back(
+                std::make_unique<Emulator>(program->prog));
+            if (wl.value().init)
+                wl.value().init(owned_emus.back()->state());
+            emus.push_back(owned_emus.back().get());
+        }
+        replayer.replayEmulated(emus, spec.maxInsts);
+    }
+
+    result.contexts.resize(n);
+    for (unsigned c = 0; c < n; ++c) {
+        ContextCellResult &ctx = result.contexts[c];
+        ctx.engine = replayer.engine(c).stats();
+        ctx.profile = replayer.engine(c).branchProfile();
+        ctx.pguBits = replayer.engine(c).pguBitsInserted();
+        accumulateEngineStats(result.engine, ctx.engine);
+        result.pguBits += ctx.pguBits;
+    }
+    if (gshare) {
+        // The shared predictor's conflict profile counts lookups from
+        // every context - cross-context aliasing IS the experiment.
+        result.lookups = gshare->lookupCount();
+        result.conflicts = gshare->conflictCount();
+    }
+    result.status = finishMultiCtxOutputs(spec, result);
     return result;
 }
 

@@ -43,8 +43,13 @@
 #include "compiler/compile.hh"
 #include "core/engine.hh"
 #include "pipeline/pipeline.hh"
+#include "sim/context_schedule.hh"
 #include "util/status.hh"
 #include "workloads/workload.hh"
+
+namespace pabp {
+class GSharePredictor;
+} // namespace pabp
 
 namespace pabp::bench {
 
@@ -93,6 +98,39 @@ enum class RunMode : std::uint8_t
     Observe, ///< step the emulator, call RunSpec::observe per DynInst
 };
 
+/**
+ * Multi-context interleaving for one cell (core/multictx.hh, bench
+ * E21). With contexts == 1 (the default) the cell runs the ordinary
+ * single-stream loops and none of the other fields matter. With
+ * contexts > 1 the cell replays N independent trace contexts -
+ * context c's input seed is spec.seed + c over the same compiled
+ * program - through ONE shared predictor. Trace mode only, and
+ * incompatible with checkpoint/resume (the cell fails with
+ * InvalidArgument). All fields are behaviour-defining and fold into
+ * specFingerprint() when contexts > 1.
+ */
+struct ContextSpec
+{
+    unsigned contexts = 1;
+    ScheduleKind schedule = ScheduleKind::RoundRobin;
+    std::uint64_t quantum = 1024;   ///< slice events / burst midpoint
+    std::uint64_t scheduleSeed = 1; ///< bursty draw seed
+    /** Share global history (and BTB/RAS when modelled) across
+     *  contexts; false = private per-context history, swapped around
+     *  every slice. Tables always shared. */
+    bool shared = true;
+    /** Context-id bits mixed into table indices; 0 = pure sharing. */
+    unsigned tagBits = 0;
+};
+
+/** One context's share of a multi-context cell's results. */
+struct ContextCellResult
+{
+    EngineStats engine;
+    BranchProfile profile;
+    std::uint64_t pguBits = 0;
+};
+
 /** One experiment cell. */
 struct RunSpec
 {
@@ -121,6 +159,9 @@ struct RunSpec
     EngineConfig engine;
     CompileOptions compile;
     std::uint64_t maxInsts = 1'500'000;
+
+    /** Multi-context interleaving; contexts == 1 = ordinary cell. */
+    ContextSpec context;
 
     /**
      * Checkpoint/resume knobs (core/checkpoint.hh), Trace mode only.
@@ -248,6 +289,12 @@ struct RunResult
     /** RunSpec::captureMetrics output: the cell's metrics document,
      *  byte-identical to what --metrics-dir would have written. */
     std::string metricsJson;
+    /** Multi-context cells only: per-context stats/profile/PGU bits,
+     *  indexed by context id. The top-level engine/pguBits fields
+     *  hold the across-context aggregate; the top-level profile stays
+     *  empty (per-PC attribution only makes sense per context - the
+     *  same static PC is a different dynamic branch stream in each). */
+    std::vector<ContextCellResult> contexts;
 };
 
 /**
@@ -322,9 +369,21 @@ class SweepRunner
     /** The decoded-trace analogue of compiledFor(): the first
      *  requester of a (program, measurement seed, budget) key records
      *  and decodes the trace, everyone else blocks on the shared
-     *  future and replays the same immutable lanes. */
+     *  future and replays the same immutable lanes. @p seed is the
+     *  measurement seed to record with - spec.seed for ordinary
+     *  cells, spec.seed + c for context c of a multi-context cell. */
     Expected<TraceHandle> decodedFor(const RunSpec &spec,
-                                     const ProgramHandle &program);
+                                     const ProgramHandle &program,
+                                     std::uint64_t seed);
+    /** Multi-context execution (RunSpec::context.contexts > 1):
+     *  builds the per-context traces or emulators, drives the
+     *  MultiContextReplayer, and fills the per-context and aggregate
+     *  results. @p result arrives with the compile counters set. */
+    RunResult executeMultiCtx(const RunSpec &spec,
+                              const ProgramHandle &program,
+                              BranchPredictor &pred,
+                              GSharePredictor *gshare,
+                              RunResult result);
 
     unsigned jobs;
     std::size_t queueCapacity;

@@ -132,6 +132,42 @@ test "${PIPESTATUS[0]}" -eq 0
     else
         echo "perf smoke: $pairs metric file pair(s) byte-identical"
     fi
+
+    echo "== perf smoke: multi-context fast-vs-reference bytes (E21) =="
+    # Same contract as the E6 check, but over the interference grid:
+    # every multi-context cell (interleaved contexts, history
+    # export/import swaps, shared BTB/RAS) must produce byte-identical
+    # metrics whether the batched or the reference replay loop drives
+    # it. A reduced budget keeps this a smoke, not a rerun of E21.
+    itf_fast_dir=$METRICS_DIR/perf_smoke_itf_fast
+    itf_ref_dir=$METRICS_DIR/perf_smoke_itf_ref
+    rm -rf "$itf_fast_dir" "$itf_ref_dir"
+    build/bench/bench_e21_interference --steps 100000 --jobs "$JOBS" \
+        --out "" --metrics-dir "$itf_fast_dir" > /dev/null
+    build/bench/bench_e21_interference --steps 100000 --jobs "$JOBS" \
+        --no-fast-replay --out "" --metrics-dir "$itf_ref_dir" > /dev/null
+    itf_pairs=0
+    for fast_file in "$itf_fast_dir"/pabp-metrics-*.json; do
+        ref_file=$itf_ref_dir/$(basename "$fast_file")
+        if [ ! -f "$ref_file" ]; then
+            echo "FAILED: perf smoke (E21): $(basename "$fast_file")" \
+                 "has no reference twin (fingerprint drift between" \
+                 "replay strategies)"
+            continue
+        fi
+        itf_pairs=$((itf_pairs + 1))
+        if ! cmp -s "$fast_file" "$ref_file"; then
+            echo "FAILED: perf smoke (E21): fast and reference" \
+                 "metrics differ: $(basename "$fast_file")"
+            build/tools/pabp-stats "$fast_file" "$ref_file" || true
+        fi
+    done
+    if [ "$itf_pairs" -eq 0 ]; then
+        echo "FAILED: perf smoke (E21): no metric file pairs compared"
+    else
+        echo "perf smoke (E21): $itf_pairs metric file pair(s)" \
+             "byte-identical"
+    fi
 } 2>&1 | tee -a bench_output.txt
 
 # --- Metrics packing (docs/OBSERVABILITY.md) -------------------------

@@ -50,10 +50,15 @@ FUZZ_SEED=${FUZZ_SEED:-1}
 # indexing, multi-bit injection, u-reset sweeps) and the
 # bulk-vs-sequential inject contract for every predictor kind - the
 # paths where a fold-width or wrap off-by-one would read garbage
-# without ever failing a plain assertion.
+# without ever failing a plain assertion. 'MultiCtx' interleaves N
+# decoded traces through one predictor with per-slice history
+# export/import swaps and shared BTB/RAS borrowing, and 'Btb' covers
+# the target structures themselves - new pointer-juggling paths that
+# deserve both tiers sanitized.
 for tier in scalar avx2; do
     PABP_SIMD=$tier ctest --test-dir "$BUILD_DIR" --output-on-failure \
-        -j "$(nproc)" -R 'Simd|FastReplay|DecodedTrace|Tage|InjectContract'
+        -j "$(nproc)" \
+        -R 'Simd|FastReplay|DecodedTrace|Tage|InjectContract|MultiCtx|Btb|ContextSchedule'
 done
 
 if [ "${PABP_SKIP_TSAN:-0}" != "1" ]; then
@@ -66,7 +71,10 @@ if [ "${PABP_SKIP_TSAN:-0}" != "1" ]; then
     # replay-schedule cache, whose find/insert runs under a mutex
     # against concurrent sweep workers sharing one decoded trace - the
     # sweep tests drive that concurrently, the FastReplay tests pin
-    # the single-threaded semantics under the same build.
+    # the single-threaded semantics under the same build. 'MultiCtx'
+    # rides along because multi-context cells run inside sweep worker
+    # threads and share the per-context decoded traces through the
+    # same cache.
     ctest --test-dir "$TSAN_DIR" --output-on-failure \
-        -R 'ThreadPool|Sweep|Stats|Metrics|Journal|FastReplay'
+        -R 'ThreadPool|Sweep|Stats|Metrics|Journal|FastReplay|MultiCtx'
 fi

@@ -46,6 +46,19 @@ class CombiningPredictor : public BranchPredictor
         secondPred->injectHistoryBits(bits, n);
     }
     bool hasGlobalHistory() const override;
+    void
+    exportHistory(std::vector<std::uint64_t> &out) const override
+    {
+        firstPred->exportHistory(out);
+        secondPred->exportHistory(out);
+    }
+    std::size_t
+    importHistory(const std::uint64_t *words, std::size_t n) override
+    {
+        std::size_t used = firstPred->importHistory(words, n);
+        used += secondPred->importHistory(words + used, n - used);
+        return used;
+    }
     void reset() override;
     std::string name() const override;
     std::size_t storageBits() const override;

@@ -51,6 +51,18 @@ class GSharePredictor : public BranchPredictor
         ghr = n >= 64 ? bits : (ghr << n) | bits;
     }
     bool hasGlobalHistory() const override { return true; }
+    void
+    exportHistory(std::vector<std::uint64_t> &out) const override
+    {
+        out.push_back(ghr);
+    }
+    std::size_t
+    importHistory(const std::uint64_t *words, std::size_t n) override
+    {
+        if (n >= 1)
+            ghr = words[0];
+        return 1;
+    }
     void reset() override;
     std::string name() const override;
     std::size_t storageBits() const override;
@@ -111,6 +123,18 @@ class GAgPredictor : public BranchPredictor
         ghr = n >= 64 ? bits : (ghr << n) | bits;
     }
     bool hasGlobalHistory() const override { return true; }
+    void
+    exportHistory(std::vector<std::uint64_t> &out) const override
+    {
+        out.push_back(ghr);
+    }
+    std::size_t
+    importHistory(const std::uint64_t *words, std::size_t n) override
+    {
+        if (n >= 1)
+            ghr = words[0];
+        return 1;
+    }
     void reset() override;
     std::string name() const override;
     std::size_t storageBits() const override;

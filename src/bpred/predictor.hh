@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "util/serialize.hh"
 #include "util/stats.hh"
@@ -104,6 +105,36 @@ class BranchPredictor
 
     /** True when injectHistoryBit() actually does something. */
     virtual bool hasGlobalHistory() const { return false; }
+
+    /**
+     * @name History swap
+     * The multi-context replayer (core/multictx.hh) shares one
+     * predictor's TABLES across interleaved trace contexts while
+     * optionally giving each context a private global history: around
+     * every schedule slice it exports the outgoing context's history
+     * words and imports the incoming context's. exportHistory()
+     * APPENDS this predictor's history words to @p out;
+     * importHistory() reads them back from @p words and returns how
+     * many words it consumed (composite predictors delegate in the
+     * same order both ways). A fresh context imports the words a
+     * freshly-reset predictor exports. The defaults are for
+     * predictors with no global history: nothing exported, nothing
+     * consumed.
+     * @{
+     */
+    virtual void
+    exportHistory(std::vector<std::uint64_t> &out) const
+    {
+        (void)out;
+    }
+    virtual std::size_t
+    importHistory(const std::uint64_t *words, std::size_t n)
+    {
+        (void)words;
+        (void)n;
+        return 0;
+    }
+    /** @} */
 
     /** Forget all state. */
     virtual void reset() = 0;

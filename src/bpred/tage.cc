@@ -439,4 +439,42 @@ TagePredictor::loadState(StateSource &src)
     return src.readPod(scOverrideCorrect);
 }
 
+void
+TagePredictor::exportHistory(std::vector<std::uint64_t> &out) const
+{
+    // Layout: histPtr, then the raw circular buffer packed 8 bytes
+    // per word (its size is a power of two, fixed by the config),
+    // then every folded register's comp value verbatim.
+    out.push_back(histPtr);
+    for (std::size_t i = 0; i < hist.size(); i += 8) {
+        std::uint64_t word = 0;
+        for (std::size_t j = 0; j < 8 && i + j < hist.size(); ++j)
+            word |= static_cast<std::uint64_t>(hist[i + j]) << (8 * j);
+        out.push_back(word);
+    }
+    for (const auto *folds : {&foldedIdx, &foldedTag0, &foldedTag1})
+        for (const FoldedHistory &f : *folds)
+            out.push_back(f.comp);
+}
+
+std::size_t
+TagePredictor::importHistory(const std::uint64_t *words, std::size_t n)
+{
+    const std::size_t histWords = (hist.size() + 7) / 8;
+    const std::size_t needed = 1 + histWords + 3 * cfg.numTables;
+    pabp_assert(n >= needed);
+    std::size_t w = 0;
+    histPtr = static_cast<std::size_t>(words[w++]) & (hist.size() - 1);
+    for (std::size_t i = 0; i < hist.size(); i += 8) {
+        const std::uint64_t word = words[w++];
+        for (std::size_t j = 0; j < 8 && i + j < hist.size(); ++j)
+            hist[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+    }
+    for (auto *folds : {&foldedIdx, &foldedTag0, &foldedTag1})
+        for (FoldedHistory &f : *folds)
+            f.comp = static_cast<std::uint32_t>(words[w++]) &
+                ((std::uint32_t{1} << f.compLength) - 1);
+    return w;
+}
+
 } // namespace pabp

@@ -78,6 +78,14 @@ class TagePredictor : public BranchPredictor
             shiftHistory(((bits >> j) & 1) != 0);
     }
     bool hasGlobalHistory() const override { return true; }
+    /** History swap (contract in BranchPredictor): the raw circular
+     *  buffer plus its write pointer plus every folded register,
+     *  verbatim - re-deriving the folds from the raw bits would walk
+     *  the whole history per slice, and any drift from the
+     *  incremental recurrence would break the N=1 identity. */
+    void exportHistory(std::vector<std::uint64_t> &out) const override;
+    std::size_t importHistory(const std::uint64_t *words,
+                              std::size_t n) override;
     void reset() override;
     std::string name() const override;
     std::size_t storageBits() const override;

@@ -14,9 +14,12 @@ constexpr char ckptMagic[8] = {'P', 'A', 'B', 'P', 'C', 'K', 'P', '1'};
 constexpr char ckptFooter[8] = {'P', 'A', 'B', 'P', 'C', 'K', 'P', 'E'};
 // v2: engine payload gained the branch profile, the PGU-influence
 // window cursor, gshare conflict-profiling state and the
-// confidence/value-predictor counters. Old checkpoints fail to load
-// (version mismatch) and runners fall back to a fresh run.
-constexpr std::uint32_t ckptVersion = 2;
+// confidence/value-predictor counters.
+// v3: engine payload gained the target-modelling configuration
+// (modelTargets + BTB/RAS geometry) and, when armed, the BTB and
+// return-address-stack state and counters. Old checkpoints fail to
+// load (version mismatch) and runners fall back to a fresh run.
+constexpr std::uint32_t ckptVersion = 3;
 
 constexpr std::uint8_t sectionEmulator = 1;
 constexpr std::uint8_t sectionEngine = 2;

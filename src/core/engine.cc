@@ -31,6 +31,60 @@ PredictionEngine::PredictionEngine(BranchPredictor &base,
       sfpf(predFile), pgu(base, config.pgu), pvp(config.pvpEntriesLog2),
       jrs(config.jrsEntriesLog2), profile(config.branchProfileCapacity)
 {
+    if (cfg.modelTargets) {
+        ownedBtb = std::make_unique<Btb>(cfg.btbSetsLog2, cfg.btbWays);
+        ownedRas = std::make_unique<ReturnAddressStack>(cfg.rasDepth);
+        btbPtr = ownedBtb.get();
+        rasPtr = ownedRas.get();
+    }
+}
+
+bool
+PredictionEngine::btbAccess(std::uint32_t pc, std::uint32_t next_pc)
+{
+    // One lookup() + one update() per taken transfer - the policy
+    // bpred/btb.hh documents. A tag hit with a stale target is still
+    // a target miss: the front end fetched down the wrong path.
+    std::optional<std::uint32_t> t = btbPtr->lookup(pc ^ ctxMix);
+    const bool miss = !t || *t != next_pc;
+    if (miss)
+        ++engineStats.btbTargetMisses;
+    btbPtr->update(pc ^ ctxMix, next_pc);
+    return miss;
+}
+
+bool
+PredictionEngine::rasReturnAccess(std::uint32_t next_pc)
+{
+    std::optional<std::uint32_t> t = rasPtr->pop();
+    const bool correct = t.has_value() && *t == next_pc;
+    if (correct)
+        ++engineStats.rasHits;
+    else
+        ++engineStats.rasMisses;
+    return correct;
+}
+
+void
+PredictionEngine::batchControlEvent(const DecodedTrace &trace,
+                                    std::uint32_t i)
+{
+    // MIRROR of the reference path's non-cond-branch target handling
+    // in process(), over the trace's flat lanes. A not-taken event
+    // (guarded-false call/branch, or a return that emptied the call
+    // stack and halted) touches nothing.
+    const bool taken = (trace.flags[i] >> 1) & 1;
+    if (!taken)
+        return;
+    const std::uint32_t pc = trace.pcs[i];
+    const Opcode op = trace.prog.insts[pc].op;
+    if (op == Opcode::Ret) {
+        rasReturnAccess(trace.nextPcs[i]);
+    } else {
+        if (op == Opcode::Call)
+            rasPtr->push(pc + 1);
+        btbAccess(pc, trace.nextPcs[i]);
+    }
 }
 
 ProcessResult
@@ -105,13 +159,13 @@ PredictionEngine::processConditionalBranch(const DynInst &dyn)
         // not-taken: squashed predictions are always correct.
         pabp_assert(!dyn.taken);
         if (cfg.trainOnSquashed) {
-            (void)pred.predict(dyn.pc);
-            pred.update(dyn.pc, dyn.taken);
+            (void)pred.predict(dyn.pc ^ ctxMix);
+            pred.update(dyn.pc ^ ctxMix, dyn.taken);
             noteHistoryShift();
         }
     } else {
-        predicted = pred.predict(dyn.pc);
-        pred.update(dyn.pc, dyn.taken);
+        predicted = pred.predict(dyn.pc ^ ctxMix);
+        pred.update(dyn.pc ^ ctxMix, dyn.taken);
         noteHistoryShift();
     }
 
@@ -160,6 +214,25 @@ PredictionEngine::process(const DynInst &dyn)
         ++engineStats.uncondBranches;
     }
 
+    if (cfg.modelTargets) {
+        // Target structures speak AFTER the direction decision, and
+        // only when the front end actually follows a target: a
+        // mispredicted conditional restarts from the resolved outcome
+        // (no BTB/RAS involvement), a taken return consults the RAS,
+        // and every other taken transfer probes the BTB (a taken call
+        // additionally pushes its return address first).
+        if (result.condBranch && result.mispredicted) {
+            // restart path: target comes from the resolve, not a table
+        } else if (inst.op == Opcode::Ret && dyn.taken) {
+            result.rasReturn = true;
+            result.rasCorrect = rasReturnAccess(dyn.nextPc);
+        } else if (dyn.isControl && dyn.taken) {
+            if (inst.op == Opcode::Call)
+                rasPtr->push(dyn.pc + 1);
+            result.targetMiss = btbAccess(dyn.pc, dyn.nextPc);
+        }
+    }
+
     if (inst.writesPredicate())
         handlePredicateDefine(dyn);
     return result;
@@ -193,7 +266,7 @@ PredictionEngine::handlePredicateDefine(const DynInst &dyn)
 }
 
 template <bool UseSfpf, bool UsePgu, bool UseSpec, typename Pred>
-void
+bool
 PredictionEngine::batchCondBranch(Pred &bp, std::uint32_t pc,
                                   const Inst &inst, bool guard,
                                   bool taken,
@@ -263,12 +336,12 @@ PredictionEngine::batchCondBranch(Pred &bp, std::uint32_t pc,
         ++prof.sfpfSquashes;
         pabp_assert(!taken);
         if (cfg.trainOnSquashed) {
-            (void)bp.predict(pc);
-            bp.update(pc, taken);
+            (void)bp.predict(pc ^ ctxMix);
+            bp.update(pc ^ ctxMix, taken);
             noteHistoryShift();
         }
     } else {
-        predicted = bp.predictAndUpdate(pc, taken);
+        predicted = bp.predictAndUpdate(pc ^ ctxMix, taken);
         noteHistoryShift();
     }
 
@@ -288,6 +361,7 @@ PredictionEngine::batchCondBranch(Pred &bp, std::uint32_t pc,
         ++cls.mispredicts;
         ++prof.mispredicts;
     }
+    return predicted != taken;
 }
 
 template <bool UseSfpf, bool UsePgu>
@@ -442,6 +516,11 @@ PredictionEngine::batchLoop(Pred &bp, const DecodedTrace &trace,
             predView.begin(predFile, endSeq);
     }
 
+    // Target modelling stays a runtime flag (not a fourth template
+    // axis): it adds work only at control events, which the class
+    // scan already isolates, so doubling the specialisation count
+    // would buy nothing.
+    const bool targets = cfg.modelTargets;
     if (stopBufCap < count) {
         stopBuf = std::make_unique_for_overwrite<std::uint32_t[]>(
             count);
@@ -452,9 +531,15 @@ PredictionEngine::batchLoop(Pred &bp, const DecodedTrace &trace,
             count);
         defBufCap = count;
     }
+    if (targets && uncondBufCap < count) {
+        uncondBuf = std::make_unique_for_overwrite<std::uint32_t[]>(
+            count);
+        uncondBufCap = count;
+    }
     const simd::CollectResult stops = simd::collectStops(
         trace.cls, first, end, runDefines, stopBuf.get(),
-        runDefines ? defBuf.get() : nullptr);
+        runDefines ? defBuf.get() : nullptr,
+        targets ? uncondBuf.get() : nullptr);
     engineStats.uncondBranches += stops.uncond;
     engineStats.predicateDefines += stops.defines;
 
@@ -549,9 +634,20 @@ PredictionEngine::batchLoop(Pred &bp, const DecodedTrace &trace,
         if constexpr (UseSfpf)
             capture->guard.reserve(stops.branches);
     }
+    // Uncond-control merge (target modelling): the BTB and RAS are
+    // shared by conditional and unconditional transfers, so the two
+    // ascending index streams must be applied in original trace
+    // order - same merge shape as the define stream. Defines never
+    // touch the target structures, so the two merges are independent.
+    const std::uint32_t *uncs = uncondBuf.get();
+    std::uint64_t uNext = 0;
     std::uint64_t dNext = 0;
     for (std::uint64_t b = 0; b < stops.branches; ++b) {
         const std::uint32_t i = stop[b];
+        if (targets) {
+            while (uNext < stops.uncond && uncs[uNext] < i)
+                batchControlEvent(trace, uncs[uNext++]);
+        }
         if constexpr (definesInteresting) {
             if (!sched) {
                 while (dNext < stops.defines && defs[dNext] < i)
@@ -582,9 +678,19 @@ PredictionEngine::batchLoop(Pred &bp, const DecodedTrace &trace,
                 drain(i);
         }
         const std::uint8_t f = trace.flags[i];
-        batchCondBranch<UseSfpf, UsePgu, UseSpec>(
+        const bool misp = batchCondBranch<UseSfpf, UsePgu, UseSpec>(
             bp, pc, inst, f & 1, (f >> 1) & 1, profileRowFor(pc),
             guardState);
+        // Taken and correctly predicted: the front end followed a
+        // BTB-supplied target (a mispredict restarts from the resolve
+        // instead - no table touch; reference path in process()).
+        if (targets && !misp && ((f >> 1) & 1))
+            btbAccess(pc, trace.nextPcs[i]);
+    }
+    if (targets) {
+        // Uncond transfers after the last conditional branch.
+        while (uNext < stops.uncond)
+            batchControlEvent(trace, uncs[uNext++]);
     }
     if constexpr (definesInteresting) {
         // Defines after the last branch of the batch.
@@ -754,6 +860,16 @@ PredictionEngine::registerStats(StatGroup &group)
     }
     engineGauge("spec_squashed", engineStats.specSquashed);
     engineGauge("spec_squashed_wrong", engineStats.specSquashedWrong);
+    // Registered only when armed so direction-only runs keep their
+    // exported metric files byte-identical to before target modelling
+    // existed.
+    if (cfg.modelTargets) {
+        engineGauge("btb_target_misses", engineStats.btbTargetMisses);
+        engineGauge("ras_hits", engineStats.rasHits);
+        engineGauge("ras_misses", engineStats.rasMisses);
+        btbPtr->registerStats(group, "btb.");
+        rasPtr->registerStats(group, "ras.");
+    }
 
     sfpf.registerStats(group, "sfpf.");
     pgu.registerStats(group, "pgu.");
@@ -777,6 +893,10 @@ PredictionEngine::resetStats()
     pvp.resetStats();
     jrs.resetStats();
     pred.resetStats();
+    if (btbPtr)
+        btbPtr->resetStats();
+    if (rasPtr)
+        rasPtr->resetStats();
     profile.reset();
     shiftsSincePguBit = pguInfluenceWindow;
 }
@@ -800,6 +920,11 @@ forEachStatsField(StatsT &stats, Fn &&fn)
     }
     fn(stats.specSquashed);
     fn(stats.specSquashedWrong);
+    // Appended at the end (checkpoint layout is append-only within a
+    // version; the container version gates the whole file anyway).
+    fn(stats.btbTargetMisses);
+    fn(stats.rasHits);
+    fn(stats.rasMisses);
 }
 
 } // anonymous namespace
@@ -824,6 +949,10 @@ PredictionEngine::saveState(StateSink &sink) const
     sink.writeBool(cfg.pgu.includePSet);
     sink.writeU32(cfg.pgu.delay);
     sink.writeU32(cfg.branchProfileCapacity);
+    sink.writeBool(cfg.modelTargets);
+    sink.writeU32(cfg.btbSetsLog2);
+    sink.writeU32(cfg.btbWays);
+    sink.writeU32(cfg.rasDepth);
 
     forEachStatsField(engineStats,
                       [&](const std::uint64_t &v) { sink.writeU64(v); });
@@ -838,6 +967,11 @@ PredictionEngine::saveState(StateSink &sink) const
 
     sink.writeString(pred.name());
     pred.saveState(sink);
+
+    if (cfg.modelTargets) {
+        btbPtr->saveState(sink);
+        rasPtr->saveState(sink);
+    }
 }
 
 Status
@@ -845,8 +979,10 @@ PredictionEngine::loadState(StateSource &src)
 {
     bool use_sfpf, use_pgu, train_on_squashed, conservative, spec;
     bool pgu_pset = false;
+    bool model_targets = false;
     std::uint32_t avail_delay, pvp_log2, jrs_log2, pgu_delay;
     std::uint32_t profile_cap;
+    std::uint32_t btb_sets = 0, btb_ways = 0, ras_depth = 0;
     std::uint8_t spec_gate, pgu_source, pgu_value;
     PABP_TRY(src.readBool(use_sfpf));
     PABP_TRY(src.readBool(use_pgu));
@@ -862,6 +998,10 @@ PredictionEngine::loadState(StateSource &src)
     PABP_TRY(src.readBool(pgu_pset));
     PABP_TRY(src.readPod(pgu_delay));
     PABP_TRY(src.readPod(profile_cap));
+    PABP_TRY(src.readBool(model_targets));
+    PABP_TRY(src.readPod(btb_sets));
+    PABP_TRY(src.readPod(btb_ways));
+    PABP_TRY(src.readPod(ras_depth));
     bool config_matches = use_sfpf == cfg.useSfpf &&
         use_pgu == cfg.usePgu && avail_delay == cfg.availDelay &&
         train_on_squashed == cfg.trainOnSquashed &&
@@ -873,7 +1013,10 @@ PredictionEngine::loadState(StateSource &src)
         pgu_source == static_cast<std::uint8_t>(cfg.pgu.source) &&
         pgu_value == static_cast<std::uint8_t>(cfg.pgu.value) &&
         pgu_pset == cfg.pgu.includePSet && pgu_delay == cfg.pgu.delay &&
-        profile_cap == cfg.branchProfileCapacity;
+        profile_cap == cfg.branchProfileCapacity &&
+        model_targets == cfg.modelTargets &&
+        btb_sets == cfg.btbSetsLog2 && btb_ways == cfg.btbWays &&
+        ras_depth == cfg.rasDepth;
     if (!config_matches)
         return Status(StatusCode::InvalidArgument,
                       "checkpoint was taken with a different engine "
@@ -901,7 +1044,13 @@ PredictionEngine::loadState(StateSource &src)
                       "checkpoint predictor '" + pred_name +
                           "' != configured predictor '" + pred.name() +
                           "'");
-    return pred.loadState(src);
+    PABP_TRY(pred.loadState(src));
+
+    if (cfg.modelTargets) {
+        PABP_TRY(btbPtr->loadState(src));
+        PABP_TRY(rasPtr->loadState(src));
+    }
+    return Status();
 }
 
 std::uint64_t

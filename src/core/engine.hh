@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "bpred/btb.hh"
 #include "bpred/confidence.hh"
 #include "bpred/predictor.hh"
 #include "core/branch_profile.hh"
@@ -62,6 +63,16 @@ struct EngineConfig
      *  observational: prediction behaviour is identical at any
      *  value. */
     unsigned branchProfileCapacity = 1024;
+    /** Model taken-branch targets: the engine owns a BTB and a return
+     *  address stack, probes them on every taken control transfer
+     *  (see docs on the lookup policy in bpred/btb.hh), counts target
+     *  misses, and reports them through ProcessResult so the pipeline
+     *  can charge penalties. Off by default: direction-only runs keep
+     *  their metric files and checkpoints byte-identical. */
+    bool modelTargets = false;
+    unsigned btbSetsLog2 = 9;
+    unsigned btbWays = 4;
+    unsigned rasDepth = 16;
 };
 
 /** Per-branch-class counters. */
@@ -102,6 +113,15 @@ struct EngineStats
     std::uint64_t specSquashedWrong = 0; ///< ...and the branch was taken
     /** @} */
 
+    /** @name Target-modelling counters (EngineConfig::modelTargets)
+     *  @{ */
+    /** Taken transfers whose BTB probe had no entry or the wrong
+     *  target (wrong target counts: the front end still refetches). */
+    std::uint64_t btbTargetMisses = 0;
+    std::uint64_t rasHits = 0;   ///< RAS-popped target was right
+    std::uint64_t rasMisses = 0; ///< wrong or empty-stack pop
+    /** @} */
+
     double
     mpki() const
     {
@@ -130,6 +150,16 @@ struct ProcessResult
      *  set; consumers that treat `squashed` as "cannot mispredict"
      *  must not lump this flag in with it. */
     bool specSquashed = false;
+    /** @name Target modelling (EngineConfig::modelTargets)
+     * All false when target modelling is off.
+     * @{ */
+    /** Taken transfer whose BTB probe returned no/the wrong target. */
+    bool targetMiss = false;
+    /** The instruction was a taken return, predicted through the
+     *  RAS; rasCorrect says whether the popped target matched. */
+    bool rasReturn = false;
+    bool rasCorrect = false;
+    /** @} */
 };
 
 /** Drives predictor + SFPF + PGU over a dynamic trace. */
@@ -163,6 +193,45 @@ class PredictionEngine
 
     const EngineStats &stats() const { return engineStats; }
     std::uint64_t pguBitsInserted() const { return pgu.bitsInserted(); }
+    const EngineConfig &config() const { return cfg; }
+
+    /** @name Target structures (non-null iff modelTargets)
+     *  @{ */
+    Btb *btb() { return btbPtr; }
+    ReturnAddressStack *ras() { return rasPtr; }
+    /** @} */
+
+    /**
+     * Share another engine's target structures (multi-context shared
+     * mode): this engine's probes and updates land in @p b / @p r
+     * instead of its own tables. Pass the OWNING engine's btb()/ras();
+     * both engines must have modelTargets armed. Pointers are
+     * borrowed - the owner must outlive this engine.
+     */
+    void
+    setTargetStructures(Btb *b, ReturnAddressStack *r)
+    {
+        btbPtr = b;
+        rasPtr = r;
+    }
+
+    /**
+     * Context-tag table indexing (multi-context replay): mix @p ctx's
+     * low @p tag_bits into every predictor and BTB index so contexts
+     * sharing one table stop aliasing each other's entries. The tag
+     * is spread across the index by a golden-ratio multiply; context
+     * 0 (and tag_bits 0) mixes nothing, so a single-context run stays
+     * byte-identical to the untagged engine. Attribution state (the
+     *  per-PC profile, PVP, JRS) keeps the real pc.
+     */
+    void
+    setContextTag(unsigned ctx, unsigned tag_bits)
+    {
+        const std::uint32_t mask =
+            tag_bits >= 32 ? ~std::uint32_t{0}
+                           : ((std::uint32_t{1} << tag_bits) - 1);
+        ctxMix = (ctx & mask) * 0x9E3779B9u;
+    }
 
     /** Per-static-branch attribution (lookups, mispredicts, SFPF
      *  squashes, PGU influence, guard occupancy). */
@@ -219,7 +288,34 @@ class PredictionEngine
      *  pguInfluenceWindow ("no recent bit"). Checkpointed. */
     std::uint64_t shiftsSincePguBit = pguInfluenceWindow;
 
+    /** @name Target modelling (allocated iff cfg.modelTargets)
+     * The pointers normally alias the owned structures;
+     * setTargetStructures() redirects them at another engine's
+     * (multi-context shared mode).
+     * @{ */
+    std::unique_ptr<Btb> ownedBtb;
+    std::unique_ptr<ReturnAddressStack> ownedRas;
+    Btb *btbPtr = nullptr;
+    ReturnAddressStack *rasPtr = nullptr;
+    /** @} */
+    /** Context-tag mix XORed into predictor/BTB indices
+     *  (setContextTag); 0 = untagged. */
+    std::uint32_t ctxMix = 0;
+
     ProcessResult processConditionalBranch(const DynInst &dyn);
+
+    /** @name Target-modelling kernels (shared by both replay paths)
+     *  @{ */
+    /** Probe + refresh the BTB for a taken transfer; returns (and
+     *  counts) the target miss. */
+    bool btbAccess(std::uint32_t pc, std::uint32_t next_pc);
+    /** Pop the RAS for a taken return; returns (and counts) whether
+     *  the popped target matched @p next_pc. */
+    bool rasReturnAccess(std::uint32_t next_pc);
+    /** Batch mirror of the reference path's non-cond-branch target
+     *  handling: one UncondControl event of @p trace. */
+    void batchControlEvent(const DecodedTrace &trace, std::uint32_t i);
+    /** @} */
 
     /** The reference path's predicate-define handling (process());
      *  batchPredDefine() is its lane-level mirror. */
@@ -240,9 +336,11 @@ class PredictionEngine
                    std::uint64_t first, std::uint64_t count);
     /** @p guardState is the SFPF guard pre-resolved by the define
      *  kernel at this branch's sequence: bit0 = known at fetch, bit1
-     *  = its value (0 when UseSfpf is off). */
+     *  = its value (0 when UseSfpf is off). Returns mispredicted, so
+     *  the caller's target-modelling step can mirror the reference
+     *  path's "no BTB touch after a restart" rule. */
     template <bool UseSfpf, bool UsePgu, bool UseSpec, typename Pred>
-    void batchCondBranch(Pred &bp, std::uint32_t pc, const Inst &inst,
+    bool batchCondBranch(Pred &bp, std::uint32_t pc, const Inst &inst,
                          bool guard, bool taken,
                          BranchProfile::Counters &prof,
                          std::uint8_t guardState);
@@ -286,6 +384,10 @@ class PredictionEngine
     std::size_t stopBufCap = 0;
     std::unique_ptr<std::uint32_t[]> defBuf;
     std::size_t defBufCap = 0;
+    /** Uncond-control index buffer (filled only under modelTargets:
+     *  otherwise unconds are counted in bulk, never visited). */
+    std::unique_ptr<std::uint32_t[]> uncondBuf;
+    std::size_t uncondBufCap = 0;
     /** Schedule-cache probe scratch: the predicate file and PGU entry
      *  queues snapshotted for exact key comparison (reused so the
      *  small allocations amortise away). */

@@ -4,13 +4,18 @@
 
 namespace pabp {
 
-H2pClassification
+Expected<H2pClassification>
 classifyH2p(const BranchProfile &baseline,
             const std::vector<double> &cutoffs)
 {
     for (std::size_t i = 0; i < cutoffs.size(); ++i) {
-        pabp_assert(cutoffs[i] > 0.0 && cutoffs[i] < 1.0);
-        pabp_assert(i == 0 || cutoffs[i] > cutoffs[i - 1]);
+        if (!(cutoffs[i] > 0.0 && cutoffs[i] < 1.0))
+            return Status(StatusCode::InvalidArgument,
+                          "H2P cutoff " + std::to_string(cutoffs[i]) +
+                              " is outside (0, 1)");
+        if (i > 0 && !(cutoffs[i] > cutoffs[i - 1]))
+            return Status(StatusCode::InvalidArgument,
+                          "H2P cutoffs must be strictly increasing");
     }
 
     H2pClassification cls;

@@ -32,6 +32,7 @@
 
 #include "core/branch_profile.hh"
 #include "util/metrics.hh"
+#include "util/status.hh"
 
 namespace pabp {
 
@@ -79,8 +80,12 @@ struct H2pTierCounters
  * strictly increasing, in (0, 1); tiers = cutoffs.size() + 1. A
  * baseline with zero tracked mispredicts puts every PC in the last
  * (easy) tier.
+ *
+ * Bad cutoffs (out of range, not strictly increasing - e.g. a typo'd
+ * --h2p-cutoffs) are a typed InvalidArgument, not an assertion: they
+ * fail the one cell or bench that passed them, never the whole sweep.
  */
-H2pClassification
+Expected<H2pClassification>
 classifyH2p(const BranchProfile &baseline,
             const std::vector<double> &cutoffs = {0.5, 0.9});
 

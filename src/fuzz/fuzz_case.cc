@@ -11,7 +11,7 @@ namespace {
 const Oracle oracleList[] = {Oracle::IfConvert, Oracle::Pipeline,
                              Oracle::Replay, Oracle::Checkpoint,
                              Oracle::Trace, Oracle::Sweep,
-                             Oracle::Journal};
+                             Oracle::Journal, Oracle::MultiCtx};
 
 Expected<std::uint64_t>
 parseU64(const std::string &key, const std::string &text)
@@ -70,6 +70,7 @@ oracleName(Oracle oracle)
       case Oracle::Trace: return "trace";
       case Oracle::Sweep: return "sweep";
       case Oracle::Journal: return "journal";
+      case Oracle::MultiCtx: return "multictx";
     }
     return "unknown";
 }
@@ -289,6 +290,28 @@ parseCase(const std::string &text)
             PABP_TRY(num([&](std::uint64_t v) {
                 out.corruptTruncate = static_cast<unsigned>(v);
             }));
+        } else if (key == "contexts") {
+            PABP_TRY(num([&](std::uint64_t v) {
+                out.contexts =
+                    static_cast<unsigned>(v ? v : 1);
+            }));
+        } else if (key == "ctx_schedule") {
+            Expected<ScheduleKind> kind = parseScheduleKind(value);
+            if (!kind.ok())
+                return kind.status();
+            out.ctxSchedule = kind.value();
+        } else if (key == "ctx_quantum") {
+            PABP_TRY(num([&](std::uint64_t v) {
+                out.ctxQuantum = v ? v : 1;
+            }));
+        } else if (key == "ctx_seed") {
+            PABP_TRY(num([&](std::uint64_t v) { out.ctxSeed = v; }));
+        } else if (key == "ctx_shared") {
+            PABP_TRY(flag([&](bool v) { out.ctxShared = v; }));
+        } else if (key == "ctx_tag_bits") {
+            PABP_TRY(num([&](std::uint64_t v) {
+                out.ctxTagBits = static_cast<unsigned>(v);
+            }));
         } else {
             return statusError(StatusCode::ParseError,
                                "fuzz case line " +
@@ -331,6 +354,12 @@ formatCase(const FuzzCase &fuzz_case)
     out << "corrupt_flips=" << c.corruptFlips << "\n";
     out << "corrupt_seed=" << c.corruptSeed << "\n";
     out << "corrupt_truncate=" << c.corruptTruncate << "\n";
+    out << "contexts=" << c.contexts << "\n";
+    out << "ctx_schedule=" << scheduleKindName(c.ctxSchedule) << "\n";
+    out << "ctx_quantum=" << c.ctxQuantum << "\n";
+    out << "ctx_seed=" << c.ctxSeed << "\n";
+    out << "ctx_shared=" << (c.ctxShared ? 1 : 0) << "\n";
+    out << "ctx_tag_bits=" << c.ctxTagBits << "\n";
     return out.str();
 }
 

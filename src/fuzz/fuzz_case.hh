@@ -22,6 +22,7 @@
 
 #include "core/engine.hh"
 #include "fuzz/fuzz_gen.hh"
+#include "sim/context_schedule.hh"
 #include "util/status.hh"
 
 namespace pabp::fuzz {
@@ -36,9 +37,11 @@ enum class Oracle : unsigned
     Trace = 1u << 4,      ///< corrupt PABPTRC2: typed error or salvage
     Sweep = 1u << 5,      ///< SweepRunner cell fast vs reference
     Journal = 1u << 6,    ///< corrupt PABPJRN1: typed error or salvage
+    MultiCtx = 1u << 7,   ///< interleaved contexts: fast vs reference,
+                          ///< and N=1 identical to single-stream
 };
 
-constexpr unsigned allOracles = 0x7f;
+constexpr unsigned allOracles = 0xff;
 
 /** Stable lower-case oracle name ("ifconvert", "replay", ...). */
 const char *oracleName(Oracle oracle);
@@ -75,6 +78,21 @@ struct FuzzCase
     unsigned corruptFlips = 0;     ///< single-bit flips applied
     std::uint64_t corruptSeed = 0; ///< rng stream picking positions
     unsigned corruptTruncate = 0;  ///< bytes chopped off the end
+    /** @} */
+
+    /** @name Multi-context interleaving (Oracle::MultiCtx)
+     *  With contexts == 1 the oracle pins the N=1 identity (a
+     *  1-context replay is byte-identical to the single-stream loop);
+     *  with contexts > 1 it pins fast vs reference multi-context
+     *  replay. Context c replays the same program from input seed
+     *  seed + c.
+     *  @{ */
+    unsigned contexts = 1;
+    ScheduleKind ctxSchedule = ScheduleKind::RoundRobin;
+    std::uint64_t ctxQuantum = 256;
+    std::uint64_t ctxSeed = 1;    ///< bursty schedule draw seed
+    bool ctxShared = true;        ///< shared vs per-context history
+    unsigned ctxTagBits = 0;      ///< context bits mixed into indices
     /** @} */
 };
 

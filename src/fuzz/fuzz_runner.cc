@@ -64,6 +64,19 @@ deriveCase(std::uint64_t seed)
         rng.chance(0.3) ? 10 + static_cast<unsigned>(rng.below(40)) : 0;
     c.gen.emptyRas = rng.chance(0.1);
     c.gen.dataWindow = std::int64_t(64) << rng.below(6); // 64..2048
+
+    // A quarter of the campaign interleaves the stream across several
+    // trace contexts so the multictx oracle sees random schedules,
+    // history-sharing modes and tag widths, not just the corpus pins.
+    if (rng.chance(0.25)) {
+        c.contexts = 2 + static_cast<unsigned>(rng.below(3));
+        c.ctxSchedule = rng.chance(0.5) ? ScheduleKind::Bursty
+                                        : ScheduleKind::RoundRobin;
+        c.ctxQuantum = std::uint64_t(16) << rng.below(6); // 16..512
+        c.ctxSeed = 1 + rng.below(1'000);
+        c.ctxShared = rng.chance(0.6);
+        c.ctxTagBits = static_cast<unsigned>(rng.below(3));
+    }
     clampConfig(c.gen);
     return c;
 }

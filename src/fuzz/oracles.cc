@@ -1,12 +1,14 @@
 #include "fuzz/oracles.hh"
 
 #include <cstdio>
+#include <memory>
 #include <sstream>
 #include <vector>
 
 #include "bpred/factory.hh"
 #include "compiler/pred_verify.hh"
 #include "core/checkpoint.hh"
+#include "core/multictx.hh"
 #include "pipeline/pipeline.hh"
 #include "sim/decoded_trace.hh"
 #include "sim/trace_io.hh"
@@ -88,6 +90,9 @@ statsDiff(const EngineStats &a, const EngineStats &b)
     field("specSquashed", a.specSquashed, b.specSquashed);
     field("specSquashedWrong", a.specSquashedWrong,
           b.specSquashedWrong);
+    field("btbTargetMisses", a.btbTargetMisses, b.btbTargetMisses);
+    field("rasHits", a.rasHits, b.rasHits);
+    field("rasMisses", a.rasMisses, b.rasMisses);
     std::string out = os.str();
     return out.empty() ? " (difference in a nested counter)" : out;
 }
@@ -173,13 +178,19 @@ oraclePipeline(const FuzzCase &c, CaseContext &ctx)
     if (!predB.ok())
         return predB.status();
 
-    PredictionEngine engineA(*predA.value(), c.engine);
+    // The pipeline requires an engine with target modelling armed;
+    // arm it on BOTH engines so the compared stats (which include the
+    // BTB/RAS counters) are produced by identical configurations.
+    EngineConfig ecfg = c.engine;
+    ecfg.modelTargets = true;
+
+    PredictionEngine engineA(*predA.value(), ecfg);
     Emulator emuA(p.converted.prog, EmuConfig{oracleMemWords, 0});
     if (p.body.init)
         p.body.init(emuA.state());
     runTrace(emuA, engineA, c.maxInsts);
 
-    PredictionEngine engineB(*predB.value(), c.engine);
+    PredictionEngine engineB(*predB.value(), ecfg);
     Emulator emuB(p.converted.prog, EmuConfig{oracleMemWords, 0});
     if (p.body.init)
         p.body.init(emuB.state());
@@ -728,6 +739,145 @@ oracleJournal(const FuzzCase &c, const RunEnv &env)
     return {};
 }
 
+// ---------------------------------------------------------------------
+// Oracle 8: multi-context replay (core/multictx.hh). With
+// contexts == 1 a 1-context replayer must be byte-identical to the
+// ordinary single-stream batch loop - the schedule machinery adds
+// nothing. With contexts > 1 the fast (decoded-trace) and reference
+// (live-emulator) interleaved replays must agree context for context,
+// and a repeated fast run must reproduce itself exactly.
+
+Status
+oracleMultiCtx(const FuzzCase &c, CaseContext &ctx)
+{
+    MultiCtxConfig mcfg;
+    mcfg.schedule.contexts = c.contexts ? c.contexts : 1;
+    mcfg.schedule.kind = c.ctxSchedule;
+    mcfg.schedule.quantum = c.ctxQuantum ? c.ctxQuantum : 1;
+    mcfg.schedule.seed = c.ctxSeed;
+    mcfg.sharedHistory = c.ctxShared;
+    mcfg.tagBits = c.ctxTagBits;
+    mcfg.engine = c.engine;
+    const unsigned n = mcfg.schedule.contexts;
+
+    if (n == 1) {
+        const RecordedTrace &trace = ctx.traceFor(c);
+        if (trace.size() == 0)
+            return diverged("recorded trace is empty (generator bug)");
+        DecodedTrace decoded = DecodedTrace::build(trace);
+
+        Expected<PredictorPtr> predA = makeCasePredictor(c);
+        Expected<PredictorPtr> predB = makeCasePredictor(c);
+        if (!predA.ok())
+            return predA.status();
+        if (!predB.ok())
+            return predB.status();
+
+        MultiContextReplayer replayer(*predA.value(), mcfg);
+        replayer.replayDecoded({&decoded}, c.maxInsts);
+
+        PredictionEngine single(*predB.value(), c.engine);
+        single.processBatch(decoded, 0, decoded.size());
+
+        PredictionEngine &only = replayer.engine(0);
+        if (!(only.stats() == single.stats()))
+            return diverged(
+                "1-context replay stats diverge from the "
+                "single-stream loop:" +
+                statsDiff(single.stats(), only.stats()));
+        if (!(only.branchProfile() == single.branchProfile()))
+            return diverged("1-context replay per-branch profile "
+                            "diverges from the single-stream loop");
+        if (only.pguBitsInserted() != single.pguBitsInserted())
+            return diverged("1-context replay PGU bits differ from "
+                            "the single-stream loop");
+        if (metricsBytes(only) != metricsBytes(single))
+            return diverged("1-context replay metrics bytes differ "
+                            "from the single-stream loop");
+        return {};
+    }
+
+    // Context k replays the shared converted program from input seed
+    // c.seed + k (the same per-context seeding the sweep uses; the
+    // generator's init closure depends only on (seed, dataWindow)).
+    std::vector<RecordedTrace> recorded;
+    std::vector<DecodedTrace> decoded;
+    for (unsigned k = 0; k < n; ++k) {
+        Emulator emu(ctx.progs.converted.prog,
+                     EmuConfig{oracleMemWords, 0});
+        makeFuzzWorkload(c.seed + k, c.gen).init(emu.state());
+        recorded.push_back(recordTrace(emu, c.maxInsts));
+        if (recorded.back().size() == 0)
+            return diverged("recorded trace for context " +
+                            std::to_string(k) +
+                            " is empty (generator bug)");
+        decoded.push_back(DecodedTrace::build(recorded.back()));
+    }
+    std::vector<const DecodedTrace *> lanes;
+    for (const DecodedTrace &d : decoded)
+        lanes.push_back(&d);
+
+    Expected<PredictorPtr> preds[3] = {makeCasePredictor(c),
+                                       makeCasePredictor(c),
+                                       makeCasePredictor(c)};
+    for (const auto &p : preds)
+        if (!p.ok())
+            return p.status();
+
+    MultiContextReplayer fast(*preds[0].value(), mcfg);
+    const std::uint64_t fastTotal =
+        fast.replayDecoded(lanes, c.maxInsts);
+
+    std::vector<std::unique_ptr<Emulator>> emus;
+    std::vector<Emulator *> emuPtrs;
+    for (unsigned k = 0; k < n; ++k) {
+        emus.push_back(std::make_unique<Emulator>(
+            ctx.progs.converted.prog, EmuConfig{oracleMemWords, 0}));
+        makeFuzzWorkload(c.seed + k, c.gen).init(emus.back()->state());
+        emuPtrs.push_back(emus.back().get());
+    }
+    MultiContextReplayer ref(*preds[1].value(), mcfg);
+    const std::uint64_t refTotal =
+        ref.replayEmulated(emuPtrs, c.maxInsts);
+
+    if (fastTotal != refTotal)
+        return diverged("multi-context processed-count mismatch: "
+                        "fast " + std::to_string(fastTotal) +
+                        " vs reference " + std::to_string(refTotal));
+    for (unsigned k = 0; k < n; ++k) {
+        PredictionEngine &f = fast.engine(k);
+        PredictionEngine &r = ref.engine(k);
+        const std::string who = "context " + std::to_string(k);
+        if (!(f.stats() == r.stats()))
+            return diverged("multi-context stats diverge between "
+                            "fast and reference replay for " + who +
+                            ":" + statsDiff(r.stats(), f.stats()));
+        if (!(f.branchProfile() == r.branchProfile()))
+            return diverged("multi-context per-branch profile "
+                            "diverges between fast and reference "
+                            "replay for " + who);
+        if (f.pguBitsInserted() != r.pguBitsInserted())
+            return diverged("multi-context PGU bits diverge between "
+                            "fast and reference replay for " + who);
+        if (metricsBytes(f) != metricsBytes(r))
+            return diverged("multi-context metrics bytes diverge "
+                            "between fast and reference replay for " +
+                            who);
+    }
+
+    // Determinism: the same lanes + schedule reproduce themselves.
+    MultiContextReplayer again(*preds[2].value(), mcfg);
+    again.replayDecoded(lanes, c.maxInsts);
+    for (unsigned k = 0; k < n; ++k)
+        if (!(again.engine(k).stats() == fast.engine(k).stats()))
+            return diverged(
+                "multi-context replay is not deterministic: repeated "
+                "run diverges for context " + std::to_string(k) + ":" +
+                statsDiff(fast.engine(k).stats(),
+                          again.engine(k).stats()));
+    return {};
+}
+
 Status
 runOracleWith(Oracle oracle, const FuzzCase &c, const RunEnv &env,
               CaseContext &ctx)
@@ -740,6 +890,7 @@ runOracleWith(Oracle oracle, const FuzzCase &c, const RunEnv &env,
       case Oracle::Trace: return oracleTrace(c, ctx);
       case Oracle::Sweep: return oracleSweep(c, ctx);
       case Oracle::Journal: return oracleJournal(c, env);
+      case Oracle::MultiCtx: return oracleMultiCtx(c, ctx);
     }
     return statusError(StatusCode::InvalidArgument,
                        "unknown oracle id");
@@ -774,7 +925,7 @@ runCase(const FuzzCase &fuzz_case, const RunEnv &env)
     const Oracle order[] = {Oracle::IfConvert, Oracle::Pipeline,
                             Oracle::Replay, Oracle::Checkpoint,
                             Oracle::Trace, Oracle::Sweep,
-                            Oracle::Journal};
+                            Oracle::Journal, Oracle::MultiCtx};
     for (Oracle o : order) {
         if (!(fuzz_case.oracles & static_cast<unsigned>(o)))
             continue;

@@ -27,6 +27,11 @@
  *              produce a typed Status or a valid salvage prefix, and
  *              JournalWriter::open truncates the damage idempotently -
  *              never a crash, never silently different records.
+ *  multictx:   interleaved multi-context replay (core/multictx.hh):
+ *              a 1-context replay is byte-identical to the ordinary
+ *              single-stream loop, and with contexts > 1 the fast and
+ *              reference interleaved replays agree per context and
+ *              reproduce themselves deterministically.
  *
  * A divergence is reported as a FuzzReport with a descriptive Status;
  * setup problems (unknown predictor kind, unwritable scratch dir) are

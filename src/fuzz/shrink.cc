@@ -163,6 +163,31 @@ shrinkCaseWith(const FuzzCase &start, const FailPredicate &still_fails,
                 c.corruptFlips = static_cast<unsigned>(v);
             });
 
+        sh.shrinkNumeric(
+            1,
+            [](const FuzzCase &c) {
+                return static_cast<std::uint64_t>(c.contexts);
+            },
+            [](FuzzCase &c, std::uint64_t v) {
+                c.contexts = static_cast<unsigned>(v);
+            });
+        sh.shrinkNumeric(
+            0,
+            [](const FuzzCase &c) {
+                return static_cast<std::uint64_t>(c.ctxTagBits);
+            },
+            [](FuzzCase &c, std::uint64_t v) {
+                c.ctxTagBits = static_cast<unsigned>(v);
+            });
+
+        if (!sh.best.ctxShared && sh.best.contexts > 1) {
+            // Shared history is the simpler configuration: no
+            // export/import swap at slice boundaries.
+            FuzzCase candidate = sh.best;
+            candidate.ctxShared = true;
+            sh.tryCandidate(candidate);
+        }
+
         if (sh.best.gen.emptyRas) {
             FuzzCase candidate = sh.best;
             candidate.gen.emptyRas = false;

@@ -8,10 +8,13 @@ namespace pabp {
 
 Pipeline::Pipeline(PredictionEngine &engine_, PipelineConfig config)
     : engine(engine_), cfg(config), icache(config.icache),
-      dcache(config.dcache), l2(config.l2),
-      btb(config.btbSetsLog2, config.btbWays), ras(config.rasDepth)
+      dcache(config.dcache), l2(config.l2)
 {
     pabp_assert(cfg.issueWidth >= 1);
+    // The engine owns the BTB/RAS and reports target outcomes through
+    // ProcessResult; an engine without target modelling would leave
+    // every taken-branch bubble at the optimistic minimum.
+    pabp_assert(engine.config().modelTargets);
 }
 
 std::uint64_t
@@ -142,17 +145,19 @@ Pipeline::issueOne(const DynInst &dyn)
     // mispredicts, and a wrong speculative squash
     // (result.specSquashed) already surfaces as mispredicted - the
     // full restart below is exactly its penalty.
+    // The engine performs the BTB probes and RAS pops itself
+    // (EngineConfig::modelTargets) and reports the outcomes; this
+    // model only converts them into front-end bubbles.
     ProcessResult result = engine.process(dyn);
     if (result.condBranch && result.mispredicted) {
         std::uint64_t resolve = cycle + 1;
         std::uint64_t restart = resolve + cfg.mispredictPenalty;
         pipeStats.mispredictStallCycles += restart - fetchReady;
         fetchReady = std::max(fetchReady, restart);
-    } else if (inst.op == Opcode::Ret && dyn.taken) {
+    } else if (result.rasReturn) {
         // Return targets come from the return address stack; a stale
         // or underflowed RAS costs a full front-end restart.
-        auto predicted = ras.pop();
-        if (predicted && *predicted == dyn.nextPc) {
+        if (result.rasCorrect) {
             ++pipeStats.rasHits;
             fetchReady = std::max(fetchReady, cycle + cfg.takenBubble);
         } else {
@@ -162,16 +167,12 @@ Pipeline::issueOne(const DynInst &dyn)
         }
     } else if (dyn.isControl && dyn.taken) {
         // Correctly predicted (or unconditional) taken transfer:
-        // redirect bubble, larger when the BTB lacks the target.
-        if (inst.op == Opcode::Call)
-            ras.push(dyn.pc + 1);
-        auto predicted_target = btb.lookup(dyn.pc);
+        // redirect bubble, larger when the BTB lacked the target.
         unsigned bubble = cfg.takenBubble;
-        if (!predicted_target || *predicted_target != dyn.nextPc) {
+        if (result.targetMiss) {
             ++pipeStats.btbMisses;
             bubble += cfg.btbMissPenalty;
         }
-        btb.update(dyn.pc, dyn.nextPc);
         fetchReady = std::max(fetchReady, cycle + bubble);
     }
 

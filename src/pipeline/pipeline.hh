@@ -18,7 +18,6 @@
 
 #include <cstdint>
 
-#include "bpred/btb.hh"
 #include "core/engine.hh"
 #include "mem/cache.hh"
 #include "sim/emulator.hh"
@@ -54,9 +53,12 @@ struct PipelineConfig
     CacheConfig l2{10, 8, 4};     ///< 1 Mi-bit-equivalent unified L2
     unsigned memoryLatency = 48;
 
-    unsigned btbSetsLog2 = 9;
-    unsigned btbWays = 4;
-    unsigned rasDepth = 16;
+    // The BTB and RAS belong to the prediction engine now
+    // (EngineConfig::modelTargets + btbSetsLog2/btbWays/rasDepth):
+    // they are predictor state - shared or partitioned across
+    // contexts, checkpointed, stat-registered - not timing state.
+    // The pipeline only charges cycles for the outcomes the engine
+    // reports through ProcessResult.
 };
 
 /** Timing results. */
@@ -86,7 +88,10 @@ class Pipeline
 {
   public:
     /**
-     * @param engine Prediction engine (owns the branch stats).
+     * @param engine Prediction engine (owns the branch stats AND the
+     *        target structures - it must be constructed with
+     *        EngineConfig::modelTargets armed, or the timing model
+     *        would silently charge no target penalties at all).
      * @param config Machine parameters.
      */
     Pipeline(PredictionEngine &engine, PipelineConfig config);
@@ -105,8 +110,6 @@ class Pipeline
     Cache icache;
     Cache dcache;
     Cache l2;
-    Btb btb;
-    ReturnAddressStack ras;
     PipelineStats pipeStats;
 
     std::uint64_t regReady[numGprs] = {};

@@ -1,0 +1,61 @@
+#include "sim/context_schedule.hh"
+
+#include "util/logging.hh"
+
+namespace pabp {
+
+Expected<ScheduleKind>
+parseScheduleKind(const std::string &name)
+{
+    if (name == "rr" || name == "round-robin")
+        return ScheduleKind::RoundRobin;
+    if (name == "bursty")
+        return ScheduleKind::Bursty;
+    return Status(StatusCode::InvalidArgument,
+                  "unknown context schedule '" + name +
+                      "' (expected rr or bursty)");
+}
+
+const char *
+scheduleKindName(ScheduleKind kind)
+{
+    return kind == ScheduleKind::Bursty ? "bursty" : "rr";
+}
+
+ContextSchedule::ContextSchedule(const ContextScheduleConfig &config)
+    : cfg(config),
+      // A zero xorshift state would stay zero forever; fold the seed
+      // through a splitmix-style constant and keep it non-zero.
+      rngState((config.seed ^ 0x9E3779B97F4A7C15ull) | 1)
+{
+    pabp_assert(cfg.contexts >= 1);
+    pabp_assert(cfg.quantum >= 1);
+}
+
+std::uint64_t
+ContextSchedule::rngNext()
+{
+    std::uint64_t x = rngState;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    rngState = x;
+    return x;
+}
+
+ContextSchedule::Slice
+ContextSchedule::next()
+{
+    Slice s;
+    if (cfg.kind == ScheduleKind::RoundRobin) {
+        s.context = rotor;
+        s.length = cfg.quantum;
+        rotor = (rotor + 1) % cfg.contexts;
+        return s;
+    }
+    s.context = static_cast<unsigned>(rngNext() % cfg.contexts);
+    s.length = 1 + rngNext() % (2 * cfg.quantum);
+    return s;
+}
+
+} // namespace pabp

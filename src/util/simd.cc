@@ -76,7 +76,8 @@ scanScalar(const std::uint8_t *cls, std::uint64_t begin,
 CollectResult
 collectScalar(const std::uint8_t *cls, std::uint64_t begin,
               std::uint64_t end, bool definesInteresting,
-              std::uint32_t *outBranches, std::uint32_t *outDefines)
+              std::uint32_t *outBranches, std::uint32_t *outDefines,
+              std::uint32_t *outUnconds)
 {
     CollectResult r;
     for (std::uint64_t i = begin; i < end; ++i) {
@@ -87,8 +88,10 @@ collectScalar(const std::uint8_t *cls, std::uint64_t begin,
             if (definesInteresting)
                 outDefines[r.defines] = static_cast<std::uint32_t>(i);
             ++r.defines;
-        } else {
-            r.uncond += c == classUncondControl;
+        } else if (c == classUncondControl) {
+            if (outUnconds)
+                outUnconds[r.uncond] = static_cast<std::uint32_t>(i);
+            ++r.uncond;
         }
     }
     return r;
@@ -248,7 +251,8 @@ scanAvx2(const std::uint8_t *cls, std::uint64_t begin,
 __attribute__((target("avx2"))) CollectResult
 collectAvx2(const std::uint8_t *cls, std::uint64_t begin,
             std::uint64_t end, bool definesInteresting,
-            std::uint32_t *outBranches, std::uint32_t *outDefines)
+            std::uint32_t *outBranches, std::uint32_t *outDefines,
+            std::uint32_t *outUnconds)
 {
     CollectResult r;
     std::uint64_t i = begin;
@@ -264,7 +268,16 @@ collectAvx2(const std::uint8_t *cls, std::uint64_t begin,
             _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, define_v)));
         std::uint32_t branches = static_cast<std::uint32_t>(
             _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, branch_v)));
-        r.uncond += __builtin_popcount(unconds);
+        if (outUnconds) {
+            std::uint32_t u = unconds;
+            while (u) {
+                outUnconds[r.uncond++] = static_cast<std::uint32_t>(
+                    i + static_cast<unsigned>(__builtin_ctz(u)));
+                u &= u - 1;
+            }
+        } else {
+            r.uncond += __builtin_popcount(unconds);
+        }
         while (branches) {
             outBranches[r.branches++] = static_cast<std::uint32_t>(
                 i + static_cast<unsigned>(__builtin_ctz(branches)));
@@ -285,7 +298,8 @@ collectAvx2(const std::uint8_t *cls, std::uint64_t begin,
         collectScalar(cls, i, end, definesInteresting,
                       outBranches + r.branches,
                       definesInteresting ? outDefines + r.defines
-                                         : nullptr);
+                                         : nullptr,
+                      outUnconds ? outUnconds + r.uncond : nullptr);
     r.branches += tail.branches;
     r.uncond += tail.uncond;
     r.defines += tail.defines;
@@ -390,15 +404,16 @@ scanClasses(const std::uint8_t *cls, std::uint64_t begin,
 CollectResult
 collectStops(const std::uint8_t *cls, std::uint64_t begin,
              std::uint64_t end, bool definesInteresting,
-             std::uint32_t *outBranches, std::uint32_t *outDefines)
+             std::uint32_t *outBranches, std::uint32_t *outDefines,
+             std::uint32_t *outUnconds)
 {
 #if PABP_SIMD_X86
     if (currentLevel == Level::Avx2)
         return collectAvx2(cls, begin, end, definesInteresting,
-                           outBranches, outDefines);
+                           outBranches, outDefines, outUnconds);
 #endif
     return collectScalar(cls, begin, end, definesInteresting,
-                         outBranches, outDefines);
+                         outBranches, outDefines, outUnconds);
 }
 
 } // namespace simd

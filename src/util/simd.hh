@@ -139,12 +139,16 @@ struct CollectResult
  * defines from a branch-major merge (a short inner run per branch)
  * instead of re-classifying a mixed stream one mispredicting test per
  * event. When @p definesInteresting is false @p outDefines may be
- * null; defines are then only counted.
+ * null; defines are then only counted. @p outUnconds follows the same
+ * optional contract for UncondControl indices (needed when the engine
+ * models taken-branch targets): null counts them, non-null (same
+ * `end - begin` room) collects a third ascending stream.
  */
 CollectResult collectStops(const std::uint8_t *cls, std::uint64_t begin,
                            std::uint64_t end, bool definesInteresting,
                            std::uint32_t *outBranches,
-                           std::uint32_t *outDefines);
+                           std::uint32_t *outDefines,
+                           std::uint32_t *outUnconds = nullptr);
 
 } // namespace simd
 } // namespace pabp

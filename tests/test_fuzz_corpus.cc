@@ -146,6 +146,27 @@ TEST(FuzzCorpus, CoversEmulatorEdgeCases)
     EXPECT_TRUE(corruptTrace) << "no trace-corruption case";
 }
 
+TEST(FuzzCorpus, CoversMultiContextInterference)
+{
+    bool tagged = false, partitioned = false, rasUnderCtx = false;
+    for (const std::string &path : corpusPaths()) {
+        Expected<FuzzCase> parsed = readCaseFile(path);
+        ASSERT_TRUE(parsed.ok()) << path;
+        const FuzzCase &c = parsed.value();
+        if (c.contexts < 2)
+            continue;
+        tagged |= c.ctxTagBits > 0;
+        partitioned |= !c.ctxShared;
+        rasUnderCtx |= c.gen.emptyRas && c.gen.callDepth > 0;
+    }
+    EXPECT_TRUE(tagged)
+        << "no multi-context case with context-tagged tables";
+    EXPECT_TRUE(partitioned)
+        << "no multi-context case with partitioned history";
+    EXPECT_TRUE(rasUnderCtx)
+        << "no multi-context case exercising RAS overflow/underflow";
+}
+
 // ---------------------------------------------------------------------
 // Acceptance criterion: the re-introduced PR-4 cursor-clamp bug is
 // caught by the checkpoint oracle and minimised to <= 20 trace

@@ -37,7 +37,8 @@ skewedBaseline()
 
 TEST(H2p, ClassifiesByCumulativeShare)
 {
-    const H2pClassification cls = classifyH2p(skewedBaseline());
+    const H2pClassification cls =
+        classifyH2p(skewedBaseline()).value();
     ASSERT_EQ(cls.numTiers(), 3u);
     EXPECT_EQ(cls.trackedMispredicts, 1000u);
 
@@ -64,7 +65,7 @@ TEST(H2p, ZeroMispredictBaselineGoesToLastTier)
     BranchProfile profile;
     profile.at(0x10).lookups = 50;
     profile.at(0x20).lookups = 50;
-    const H2pClassification cls = classifyH2p(profile);
+    const H2pClassification cls = classifyH2p(profile).value();
     EXPECT_EQ(cls.trackedMispredicts, 0u);
     EXPECT_EQ(cls.tierOf.at(0x10), 2u);
     EXPECT_EQ(cls.tierOf.at(0x20), 2u);
@@ -72,7 +73,8 @@ TEST(H2p, ZeroMispredictBaselineGoesToLastTier)
 
 TEST(H2p, AggregateTracksMissingPcsViaMatchedBranches)
 {
-    const H2pClassification cls = classifyH2p(skewedBaseline());
+    const H2pClassification cls =
+        classifyH2p(skewedBaseline()).value();
 
     BranchProfile variant;
     variant.at(0x100).mispredicts = 400; // improved
@@ -92,7 +94,8 @@ TEST(H2p, AggregateTracksMissingPcsViaMatchedBranches)
 
 TEST(H2p, ExportsDocumentedMetricNames)
 {
-    const H2pClassification cls = classifyH2p(skewedBaseline());
+    const H2pClassification cls =
+        classifyH2p(skewedBaseline()).value();
     BranchProfile variant = skewedBaseline();
     variant.at(0x100).mispredicts = 500;
     const auto tiers = aggregateByTier(cls, variant);
@@ -114,6 +117,27 @@ TEST(H2p, ExportsDocumentedMetricNames)
         EXPECT_NE(json.find(key), std::string::npos) << key;
 }
 
+TEST(H2p, BadCutoffsAreTypedErrorsNotFatal)
+{
+    // A typo'd --h2p-cutoffs must fail its cell with a typed status,
+    // never abort the sweep process.
+    const auto out_of_range =
+        classifyH2p(skewedBaseline(), {0.5, 1.5});
+    ASSERT_FALSE(out_of_range.ok());
+    EXPECT_EQ(out_of_range.status().code(),
+              StatusCode::InvalidArgument);
+
+    const auto not_increasing =
+        classifyH2p(skewedBaseline(), {0.9, 0.5});
+    ASSERT_FALSE(not_increasing.ok());
+    EXPECT_EQ(not_increasing.status().code(),
+              StatusCode::InvalidArgument);
+
+    const auto zero = classifyH2p(skewedBaseline(), {0.0});
+    ASSERT_FALSE(zero.ok());
+    EXPECT_EQ(zero.status().code(), StatusCode::InvalidArgument);
+}
+
 TEST(H2p, EvictedRemainderIsReportedNotTiered)
 {
     BranchProfile profile(2); // capacity 2 forces eviction
@@ -122,7 +146,7 @@ TEST(H2p, EvictedRemainderIsReportedNotTiered)
         c.lookups = 100;
         c.mispredicts = 10 + pc;
     }
-    const H2pClassification cls = classifyH2p(profile);
+    const H2pClassification cls = classifyH2p(profile).value();
     EXPECT_EQ(cls.tierOf.size(), profile.entries().size());
     EXPECT_EQ(cls.evictedMispredicts,
               profile.evictedRemainder().mispredicts);

@@ -76,6 +76,7 @@ runPipeline(const std::string &workload, bool if_convert,
     copts.ifConvert = if_convert;
     CompiledProgram cp = compileWorkload(wl, copts);
     PredictorPtr pred = makePredictor("gshare", 12);
+    ecfg.modelTargets = true; // the timing model requires the engine's BTB/RAS
     PredictionEngine engine(*pred, ecfg);
     Pipeline pipe(engine, pcfg);
     Emulator emu(cp.prog);
@@ -127,8 +128,10 @@ TEST(Pipeline, BetterPredictorImprovesIpc)
 
     PredictorPtr bad = makePredictor("static-nottaken", 1);
     PredictorPtr good = makePredictor("gshare", 12);
-    PredictionEngine e1(*bad, EngineConfig{});
-    PredictionEngine e2(*good, EngineConfig{});
+    EngineConfig ecfg;
+    ecfg.modelTargets = true;
+    PredictionEngine e1(*bad, ecfg);
+    PredictionEngine e2(*good, ecfg);
     PipelineConfig pcfg;
     Pipeline p1(e1, pcfg), p2(e2, pcfg);
     Emulator m1(c1.prog), m2(c2.prog);

@@ -81,12 +81,18 @@ recursionProgram(std::int64_t depth)
     return p;
 }
 
+/** The RAS lives in the engine now (EngineConfig::rasDepth); the
+ *  pipeline charges cycles for the outcomes it reports. */
 PipelineStats
-timeProgram(const Program &p, PipelineConfig pcfg)
+timeProgram(const Program &p, unsigned ras_depth = 16,
+            PipelineConfig pcfg = PipelineConfig{})
 {
     EXPECT_EQ(validateProgram(p), "");
     PredictorPtr pred = makePredictor("gshare", 10);
-    PredictionEngine engine(*pred, EngineConfig{});
+    EngineConfig ecfg;
+    ecfg.modelTargets = true;
+    ecfg.rasDepth = ras_depth;
+    PredictionEngine engine(*pred, ecfg);
     Pipeline pipe(engine, pcfg);
     Emulator emu(p, EmuConfig{1 << 12, 2'000'000});
     return pipe.run(emu, 2'000'000);
@@ -95,7 +101,7 @@ timeProgram(const Program &p, PipelineConfig pcfg)
 TEST(RasPipeline, WellNestedCallsHit)
 {
     Program p = callLoopProgram(500);
-    PipelineStats stats = timeProgram(p, PipelineConfig{});
+    PipelineStats stats = timeProgram(p);
     EXPECT_EQ(stats.rasMisses, 0u);
     EXPECT_EQ(stats.rasHits, 500u);
 }
@@ -103,9 +109,7 @@ TEST(RasPipeline, WellNestedCallsHit)
 TEST(RasPipeline, ShallowRecursionFitsRas)
 {
     Program p = recursionProgram(8);
-    PipelineConfig pcfg;
-    pcfg.rasDepth = 16;
-    PipelineStats stats = timeProgram(p, pcfg);
+    PipelineStats stats = timeProgram(p, 16);
     EXPECT_EQ(stats.rasMisses, 0u);
     EXPECT_EQ(stats.rasHits, 9u); // depth 8 + the outer call
 }
@@ -113,9 +117,7 @@ TEST(RasPipeline, ShallowRecursionFitsRas)
 TEST(RasPipeline, DeepRecursionOverflowsRas)
 {
     Program p = recursionProgram(64);
-    PipelineConfig pcfg;
-    pcfg.rasDepth = 8;
-    PipelineStats stats = timeProgram(p, pcfg);
+    PipelineStats stats = timeProgram(p, 8);
     EXPECT_GT(stats.rasMisses, 0u);
     EXPECT_GT(stats.rasHits, 0u); // the innermost frames still hit
 }
@@ -123,11 +125,8 @@ TEST(RasPipeline, DeepRecursionOverflowsRas)
 TEST(RasPipeline, RasMissesCostCycles)
 {
     Program p = recursionProgram(64);
-    PipelineConfig big, small;
-    big.rasDepth = 128;
-    small.rasDepth = 4;
-    PipelineStats with_big = timeProgram(p, big);
-    PipelineStats with_small = timeProgram(p, small);
+    PipelineStats with_big = timeProgram(p, 128);
+    PipelineStats with_small = timeProgram(p, 4);
     EXPECT_EQ(with_big.rasMisses, 0u);
     EXPECT_GT(with_small.rasMisses, 0u);
     EXPECT_GT(with_small.cycles, with_big.cycles);

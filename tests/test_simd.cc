@@ -183,6 +183,59 @@ TEST(SimdScan, CollectStopsMatchesAcrossLevels)
     }
 }
 
+TEST(SimdScan, CollectStopsUncondStreamIsOptionalAndExact)
+{
+    // The third (optional) output stream: UncondControl indices,
+    // needed when the engine models taken-branch targets. Null means
+    // count-only; non-null collects the exact ascending positions -
+    // on every SIMD tier.
+    LevelGuard guard;
+    Rng rng(424242);
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::size_t n = 1 + rng.next() % 400;
+        const auto cls = randomClassLane(rng, n);
+        const std::uint64_t begin = rng.next() % n;
+        for (const bool defs : {false, true}) {
+            std::vector<std::uint32_t> brS(n, 0xdeadbeefu), brV = brS;
+            std::vector<std::uint32_t> dfS(n, 0xdeadbeefu), dfV = dfS;
+            std::vector<std::uint32_t> ucS(n, 0xdeadbeefu), ucV = ucS;
+
+            simd::forceLevel(simd::Level::Scalar);
+            const simd::CollectResult s = simd::collectStops(
+                cls.data(), begin, n, defs, brS.data(),
+                defs ? dfS.data() : nullptr, ucS.data());
+            // Count-only call on the same range must agree with the
+            // collecting one.
+            std::vector<std::uint32_t> brN(n), dfN(n);
+            const simd::CollectResult counted = simd::collectStops(
+                cls.data(), begin, n, defs, brN.data(),
+                defs ? dfN.data() : nullptr, nullptr);
+            simd::forceLevel(simd::Level::Avx2);
+            const simd::CollectResult v = simd::collectStops(
+                cls.data(), begin, n, defs, brV.data(),
+                defs ? dfV.data() : nullptr, ucV.data());
+
+            ASSERT_EQ(s.branches, v.branches);
+            ASSERT_EQ(s.defines, v.defines);
+            ASSERT_EQ(s.uncond, v.uncond);
+            ASSERT_EQ(counted.uncond, s.uncond);
+            ASSERT_EQ(brS, brV);
+            ASSERT_EQ(ucS, ucV);
+
+            std::vector<std::uint32_t> want;
+            for (std::uint64_t i = begin; i < n; ++i)
+                if (cls[i] == simd::classUncondControl)
+                    want.push_back(static_cast<std::uint32_t>(i));
+            ASSERT_EQ(s.uncond, want.size());
+            for (std::size_t i = 0; i < want.size(); ++i)
+                ASSERT_EQ(ucS[i], want[i]);
+            // Untouched tail stays poisoned.
+            if (want.size() < n)
+                ASSERT_EQ(ucS[want.size()], 0xdeadbeefu);
+        }
+    }
+}
+
 TEST(SimdScan, CollectStopsAgreesWithScanClasses)
 {
     // collectStops is the one-pass form of repeated scanClasses: the

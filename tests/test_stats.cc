@@ -19,6 +19,7 @@
 #include "bpred/gshare.hh"
 #include "core/branch_profile.hh"
 #include "core/engine.hh"
+#include "isa/program.hh"
 #include "sweep.hh"
 #include "util/metrics.hh"
 #include "util/stats.hh"
@@ -253,6 +254,82 @@ TEST(EngineSpecSquash, PvpTrainsOnlyOnFetchUnresolvedGuards)
     EXPECT_EQ(group.value("pvp.trains"), unknown)
         << "pvp must train once per fetch-unresolved guard and "
            "never on resolved ones";
+}
+
+// ---------------------------------------------------------------------
+// Target-structure observability: with EngineConfig::modelTargets
+// armed, the engine registers the btb.* / ras.* gauges and the
+// engine.btb_target_misses / ras_hits / ras_misses counters; they
+// agree with EngineStats and clear on reset. (Direction-only engines
+// register none of these - the gated-export contract that keeps old
+// metric files byte-identical.)
+
+TEST(EngineTargetStats, BtbAndRasGaugesCountAndReset)
+{
+    // main calls a one-add leaf 300 times: every call pushes, every
+    // return pops its own address, so a private RAS never misses.
+    Program p;
+    p.name = "call-loop";
+    p.insts = {
+        makeMovImm(1, 300),
+        makeCmpImm(CmpRel::Gt, CmpType::Unc, 1, 2, 1, 0),
+        makeBr(7, 2),
+        makeCall(8),
+        makeAluImm(Opcode::Sub, 1, 1, 1),
+        makeBr(1),
+        makeNop(),
+        makeHalt(),
+        makeAluImm(Opcode::Add, 2, 2, 1),
+        makeRet(),
+    };
+    ASSERT_EQ(validateProgram(p), "");
+
+    GSharePredictor pred(12);
+    EngineConfig ecfg;
+    ecfg.modelTargets = true;
+    ecfg.rasDepth = 16;
+    PredictionEngine engine(pred, ecfg);
+    StatGroup group;
+    engine.registerStats(group);
+
+    Emulator emu(p);
+    runTrace(emu, engine, 20000);
+    const EngineStats &stats = engine.stats();
+
+    EXPECT_EQ(group.value("ras.pushes"), 300u);
+    EXPECT_EQ(group.value("ras.pops"), 300u);
+    EXPECT_EQ(group.value("ras.overflows"), 0u);
+    EXPECT_EQ(group.value("ras.underflows"), 0u);
+    EXPECT_EQ(group.value("engine.ras_hits"), stats.rasHits);
+    EXPECT_EQ(stats.rasHits, 300u);
+    EXPECT_EQ(group.value("engine.ras_misses"), 0u);
+    EXPECT_GT(group.value("btb.hits") + group.value("btb.misses"),
+              0u);
+    EXPECT_GT(group.value("btb.misses"), 0u) << "cold BTB must miss";
+    EXPECT_EQ(group.value("engine.btb_target_misses"),
+              stats.btbTargetMisses);
+    EXPECT_GT(stats.btbTargetMisses, 0u);
+
+    group.reset();
+    EXPECT_EQ(engine.stats(), EngineStats{});
+    for (const char *name :
+         {"btb.hits", "btb.misses", "ras.pushes", "ras.pops",
+          "engine.btb_target_misses", "engine.ras_hits",
+          "engine.ras_misses"})
+        EXPECT_EQ(group.value(name), 0u) << name;
+}
+
+TEST(EngineTargetStats, DirectionOnlyEngineRegistersNoTargetGauges)
+{
+    GSharePredictor pred(12);
+    PredictionEngine engine(pred, EngineConfig{});
+    StatGroup group;
+    engine.registerStats(group);
+    for (const auto &[name, value] : group.snapshot()) {
+        EXPECT_EQ(name.rfind("btb.", 0), std::string::npos) << name;
+        EXPECT_EQ(name.rfind("ras.", 0), std::string::npos) << name;
+        EXPECT_NE(name, "engine.btb_target_misses");
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -610,6 +687,57 @@ TEST(SweepMetrics, ResumedRunExportsIdenticalMetricsFile)
     std::remove(derivedCheckpointPath(base, specFingerprint(half))
                     .c_str());
     std::remove(derivedCheckpointPath(base, specFingerprint(full))
+                    .c_str());
+    std::remove(resumed_file.c_str());
+    std::remove(straight_file.c_str());
+}
+
+TEST(SweepMetrics, ResumedTargetModellingExportsIdenticalFile)
+{
+    // Satellite of the BTB/RAS wiring fix: the target structures are
+    // part of the checkpoint now (ckpt version 3), so a resumed
+    // modelTargets run reproduces the uninterrupted run's target
+    // stats - and its metrics file, btb.*/ras.* gauges included -
+    // byte for byte.
+    const std::string base = tempPath("targets.ckpt");
+    RunSpec half = metricsSpec(tempPath("tgt_half"));
+    half.engine.modelTargets = true;
+    half.checkpointEvery = 5000;
+    half.maxInsts = 10000;
+    half.checkpointPath = base;
+    SweepRunner runner(SweepRunner::Config{1, 0});
+    ASSERT_TRUE(runner.runOne(half).status.ok());
+
+    RunSpec full = metricsSpec(tempPath("tgt_resumed"));
+    full.engine.modelTargets = true;
+    full.maxInsts = 20000;
+    full.resumePath = base;
+    aliasCheckpoint(base, half, full);
+    RunResult resumed = runner.runOne(full);
+    ASSERT_TRUE(resumed.status.ok()) << resumed.status.toString();
+    ASSERT_TRUE(resumed.resumed);
+
+    RunSpec straight = metricsSpec(tempPath("tgt_straight"));
+    straight.engine.modelTargets = true;
+    straight.maxInsts = 20000;
+    RunResult uninterrupted = runner.runOne(straight);
+    ASSERT_TRUE(uninterrupted.status.ok());
+
+    // Vacuity guard: the cell must actually have modelled targets.
+    ASSERT_GT(uninterrupted.engine.btbTargetMisses, 0u);
+    EXPECT_EQ(resumed.engine, uninterrupted.engine);
+    EXPECT_EQ(resumed.profile, uninterrupted.profile);
+    const std::string resumed_file = metricsFilePath(
+        full.metricsDir, specFingerprint(full));
+    const std::string straight_file = metricsFilePath(
+        straight.metricsDir, specFingerprint(straight));
+    EXPECT_EQ(readFile(resumed_file), readFile(straight_file));
+
+    std::remove(derivedCheckpointPath(base, specFingerprint(half))
+                    .c_str());
+    std::remove(derivedCheckpointPath(base, specFingerprint(full))
+                    .c_str());
+    std::remove(metricsFilePath(half.metricsDir, specFingerprint(half))
                     .c_str());
     std::remove(resumed_file.c_str());
     std::remove(straight_file.c_str());
