@@ -45,6 +45,9 @@ pabp_bench(bench_e18_cross_input)
 pabp_bench(bench_e19_pgu_bases)
 pabp_bench(bench_e20_tage_h2p)
 pabp_bench(bench_e21_interference)
+pabp_bench(bench_e22_characterization)
+# E22 runs the mining campaign in-process.
+target_link_libraries(bench_e22_characterization PRIVATE pabp_fuzz)
 
 pabp_bench(bench_replay_hot)
 

@@ -69,6 +69,11 @@ standardOptions()
                  "overrunning cell fails with DeadlineExceeded");
     opts.declare("heartbeat-insts", "65536",
                  "instructions between watchdog deadline checks");
+    opts.declare("characterize", "0",
+                 "compute workload predictability metrics per cell "
+                 "(taken/transition rates, history-conditioned "
+                 "entropy; exported as predictability.* with the "
+                 "metrics document)");
     return opts;
 }
 
@@ -185,6 +190,7 @@ applyCheckpointOptions(RunSpec &spec, const Options &opts)
     spec.resumePath = opts.str("resume");
     spec.metricsDir = opts.str("metrics-dir");
     spec.fastReplay = fastReplayFromOptions(opts);
+    spec.characterize = opts.flag("characterize");
     applyRobustnessOptions(spec, opts);
 }
 
@@ -196,9 +202,11 @@ applyMetricsOptions(std::vector<RunSpec> &specs, const Options &opts)
 {
     const std::string dir = opts.str("metrics-dir");
     const bool fast = fastReplayFromOptions(opts);
+    const bool characterize = opts.flag("characterize");
     for (RunSpec &spec : specs) {
         spec.metricsDir = dir;
         spec.fastReplay = fast;
+        spec.characterize = characterize;
         applyRobustnessOptions(spec, opts);
     }
 }

@@ -278,6 +278,19 @@ buildCellMetrics(const RunSpec &spec, const RunResult &result,
         ex.addGroup(group);
         ex.setReal("engine.mpki", engine->stats().mpki());
         engine->branchProfile().exportTo(ex);
+        if (result.predictability) {
+            // RunSpec::characterize: the workload-character metrics
+            // plus the H2P cross-reference against THIS cell's own
+            // profile - "are the hard branches the low-predictability
+            // ones?" answered per cell (default cutoffs never fail
+            // classifyH2p).
+            exportPredictability(ex, *result.predictability);
+            Expected<H2pClassification> cls =
+                classifyH2p(engine->branchProfile());
+            if (cls.ok())
+                aggregatePredictabilityByTier(ex, cls.value(),
+                                              *result.predictability);
+        }
     } else {
         // Observe-mode cell: no engine ran, only the instruction
         // budget actually executed is meaningful.
@@ -562,6 +575,54 @@ SweepRunner::decodedFor(const RunSpec &spec,
     return handle;
 }
 
+Expected<SweepRunner::ReportHandle>
+SweepRunner::characterizedFor(const RunSpec &spec,
+                              const ProgramHandle &program)
+{
+    // Same sharing discipline as the program and trace caches: the
+    // report is a pure function of (program, measurement seed,
+    // budget), so the first requester computes it and every other
+    // cell of the key reads the same immutable object.
+    std::string key = programCacheKey(spec) + ":" +
+        std::to_string(spec.seed) + ":" +
+        std::to_string(spec.maxInsts) + ":predictability";
+
+    std::promise<ReportHandle> promise;
+    std::shared_future<ReportHandle> future;
+    bool compute_here = false;
+    {
+        std::lock_guard<std::mutex> lock(cacheMtx);
+        auto it = predCache.find(key);
+        if (it == predCache.end()) {
+            future = promise.get_future().share();
+            predCache.emplace(key, future);
+            compute_here = true;
+        } else {
+            future = it->second;
+        }
+    }
+    if (!compute_here) {
+        ReportHandle handle = future.get();
+        if (!handle)
+            return Status(StatusCode::NotFound,
+                          "characterization failed for " +
+                              spec.workload);
+        return handle;
+    }
+
+    Expected<TraceHandle> decoded =
+        decodedFor(spec, program, spec.seed);
+    if (!decoded.ok()) {
+        promise.set_value(nullptr);
+        return decoded.status();
+    }
+    ReportHandle handle =
+        std::make_shared<const PredictabilityReport>(characterizeTrace(
+            *decoded.value(), PredictabilityConfig{}, spec.maxInsts));
+    promise.set_value(handle);
+    return handle;
+}
+
 RunResult
 SweepRunner::executeSpecAttempt(const RunSpec &spec, unsigned attempt)
 {
@@ -675,6 +736,27 @@ SweepRunner::executeSpec(const RunSpec &spec)
         return result;
     }
     const StateInit &init = init_wl.value().init;
+
+    // Characterize before the measured run: the report comes off the
+    // shared decoded trace, so fast-replay, reference and Timed cells
+    // of the same (workload, seed, budget) all report the same bytes.
+    if (spec.characterize) {
+        if (spec.mode == RunMode::Observe ||
+            spec.context.contexts > 1) {
+            result.status = Status(
+                StatusCode::InvalidArgument,
+                "characterize requires a single-context Trace or "
+                "Timed cell");
+            return result;
+        }
+        Expected<ReportHandle> rep =
+            characterizedFor(spec, program.value());
+        if (!rep.ok()) {
+            result.status = rep.status();
+            return result;
+        }
+        result.predictability = rep.value();
+    }
 
     if (spec.mode == RunMode::Observe) {
         if (!spec.observe) {

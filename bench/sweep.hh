@@ -42,6 +42,7 @@
 
 #include "compiler/compile.hh"
 #include "core/engine.hh"
+#include "core/predictability.hh"
 #include "pipeline/pipeline.hh"
 #include "sim/context_schedule.hh"
 #include "util/status.hh"
@@ -208,6 +209,21 @@ struct RunSpec
      */
     std::string metricsDir;
 
+    /**
+     * Characterize the cell's conditional-branch stream with the
+     * predictability analyzer (core/predictability.hh): the report
+     * lands in RunResult::predictability and - when the cell exports
+     * metrics - as "predictability.*" names in its document, with
+     * the per-H2P-tier cross-reference against the cell's own
+     * profile. The characterization reads the same shared decoded
+     * trace the fast-replay path uses, over the same budget, so
+     * fast and reference cells report byte-identical numbers.
+     * Purely observational - NOT part of specFingerprint(), exactly
+     * like metricsDir. Trace and Timed single-context cells only
+     * (a multi-context cell has no single stream to characterize).
+     */
+    bool characterize = false;
+
     /** Observe mode: called for every dynamic instruction. The
      *  closure's state is owned by this spec alone - one worker. */
     std::function<void(const DynInst &)> observe;
@@ -289,6 +305,10 @@ struct RunResult
     /** RunSpec::captureMetrics output: the cell's metrics document,
      *  byte-identical to what --metrics-dir would have written. */
     std::string metricsJson;
+    /** RunSpec::characterize output: the predictability report of
+     *  the cell's branch stream (shared - several cells over the
+     *  same workload reference one immutable report). */
+    std::shared_ptr<const PredictabilityReport> predictability;
     /** Multi-context cells only: per-context stats/profile/PGU bits,
      *  indexed by context id. The top-level engine/pguBits fields
      *  hold the across-context aggregate; the top-level profile stays
@@ -355,6 +375,7 @@ class SweepRunner
   private:
     using ProgramHandle = std::shared_ptr<const CompiledProgram>;
     using TraceHandle = std::shared_ptr<const DecodedTrace>;
+    using ReportHandle = std::shared_ptr<const PredictabilityReport>;
 
     RunResult executeSpec(const RunSpec &spec);
     /** One try: fault hook, then executeSpec under the exception
@@ -375,6 +396,11 @@ class SweepRunner
     Expected<TraceHandle> decodedFor(const RunSpec &spec,
                                      const ProgramHandle &program,
                                      std::uint64_t seed);
+    /** RunSpec::characterize: one shared predictability report per
+     *  (program, seed, budget) key, computed over the same decoded
+     *  trace every replaying cell of that key consumes. */
+    Expected<ReportHandle> characterizedFor(const RunSpec &spec,
+                                            const ProgramHandle &program);
     /** Multi-context execution (RunSpec::context.contexts > 1):
      *  builds the per-context traces or emulators, drives the
      *  MultiContextReplayer, and fills the per-context and aggregate
@@ -391,6 +417,7 @@ class SweepRunner
     mutable std::mutex cacheMtx;
     std::map<std::string, std::shared_future<ProgramHandle>> cache;
     std::map<std::string, std::shared_future<TraceHandle>> traceCache;
+    std::map<std::string, std::shared_future<ReportHandle>> predCache;
     CacheStats stats;
     std::uint64_t resumeFallbackCount = 0;
 };

@@ -264,6 +264,20 @@ FUZZ_EMIT_DIR=${FUZZ_EMIT_DIR:-results/fuzz-failures}
         --emit-dir "$FUZZ_EMIT_DIR" --scratch-dir build; then
         echo "FAILED: pabp-fuzz campaign (reproducers in $FUZZ_EMIT_DIR)"
     fi
+    # Adversarial mining smoke (docs/FUZZING.md): hill-climb the
+    # generator knobs under the low-entropy-gap scorer with pinned
+    # seeds and emit the winners as replayable .pabp workloads. Exit
+    # 3 (scorer infrastructure failure) and exit 1 (oracle divergence
+    # on a mined case) both fail the run; the emitted cases feed
+    # bench_e22's dominance check.
+    MINE_DIR=${MINE_DIR:-results/mined-workloads}
+    echo "== fuzz: adversarial mining (seeds 5..6) =="
+    mkdir -p "$MINE_DIR"
+    if ! build/tools/pabp-fuzz --mine low-entropy-gap --runs 2 \
+        --seed 5 --mine-steps 6 --emit-dir "$MINE_DIR" \
+        --scratch-dir build; then
+        echo "FAILED: pabp-fuzz --mine low-entropy-gap"
+    fi
 } 2>&1 | tee -a bench_output.txt
 
 # The loops ran in the pipelines' subshells, so their verdicts must

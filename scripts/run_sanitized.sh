@@ -58,7 +58,7 @@ FUZZ_SEED=${FUZZ_SEED:-1}
 for tier in scalar avx2; do
     PABP_SIMD=$tier ctest --test-dir "$BUILD_DIR" --output-on-failure \
         -j "$(nproc)" \
-        -R 'Simd|FastReplay|DecodedTrace|Tage|InjectContract|MultiCtx|Btb|ContextSchedule'
+        -R 'Simd|FastReplay|DecodedTrace|Tage|InjectContract|MultiCtx|Btb|ContextSchedule|Predictability|Mining'
 done
 
 if [ "${PABP_SKIP_TSAN:-0}" != "1" ]; then
@@ -75,6 +75,9 @@ if [ "${PABP_SKIP_TSAN:-0}" != "1" ]; then
     # rides along because multi-context cells run inside sweep worker
     # threads and share the per-context decoded traces through the
     # same cache.
+    # 'Metrics' also catches the characterized-cell byte-identity
+    # suite: predictability reports are computed once per program in
+    # a promise/shared_future cache that sweep workers race on.
     ctest --test-dir "$TSAN_DIR" --output-on-failure \
-        -R 'ThreadPool|Sweep|Stats|Metrics|Journal|FastReplay|MultiCtx'
+        -R 'ThreadPool|Sweep|Stats|Metrics|Journal|FastReplay|MultiCtx|Predictability'
 fi

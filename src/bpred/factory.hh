@@ -7,12 +7,31 @@
 #ifndef PABP_BPRED_FACTORY_HH
 #define PABP_BPRED_FACTORY_HH
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "bpred/predictor.hh"
 #include "util/status.hh"
 
 namespace pabp {
+
+/**
+ * Number of registered predictor kinds. The factory's dispatch table
+ * static_asserts against this constant, and the engine-grid test
+ * pins it too - so adding a predictor kind without updating both the
+ * registry and the coverage matrix is a compile/test failure, never
+ * a silent skip.
+ */
+inline constexpr std::size_t kNumPredictorKinds = 11;
+
+/**
+ * Every registered predictor kind, in registration order. The order
+ * is part of the fuzz-campaign seed-derivation contract
+ * (fuzz_runner.cc): reordering or inserting mid-list changes which
+ * predictor a given campaign seed exercises, so new kinds append.
+ */
+const std::vector<std::string> &allPredictorKinds();
 
 /**
  * Build a predictor.

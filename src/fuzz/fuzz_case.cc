@@ -274,6 +274,10 @@ parseCase(const std::string &text)
             PABP_TRY(num([&](std::uint64_t v) {
                 out.gen.divEdgePercent = static_cast<unsigned>(v);
             }));
+        } else if (key == "data_branches") {
+            PABP_TRY(num([&](std::uint64_t v) {
+                out.gen.dataBranchPercent = static_cast<unsigned>(v);
+            }));
         } else if (key == "empty_ras") {
             PABP_TRY(flag([&](bool v) { out.gen.emptyRas = v; }));
         } else if (key == "data_window") {
@@ -349,6 +353,7 @@ formatCase(const FuzzCase &fuzz_case)
     out << "call_depth=" << c.gen.callDepth << "\n";
     out << "hb_pressure=" << c.gen.hbPressure << "\n";
     out << "div_edges=" << c.gen.divEdgePercent << "\n";
+    out << "data_branches=" << c.gen.dataBranchPercent << "\n";
     out << "empty_ras=" << (c.gen.emptyRas ? 1 : 0) << "\n";
     out << "data_window=" << c.gen.dataWindow << "\n";
     out << "corrupt_flips=" << c.corruptFlips << "\n";

@@ -23,6 +23,10 @@ constexpr unsigned counterRegBase = 40;
 constexpr unsigned repeatReg = 60;
 /** Call-wrapper driver counter; never touched by generated bodies. */
 constexpr unsigned driverReg = 61;
+/** Data-branch stream index: walks the random-initialised window one
+ *  word per data-branch execution. Shared by every data-branch item
+ *  (the walk just strides faster), never touched by other items. */
+constexpr unsigned streamReg = 62;
 
 /** splitmix64-style stream splitter: independent rng streams per
  *  (seed, role) so one item's draws never shift another's. */
@@ -297,9 +301,52 @@ class FuzzBuilder
         }
     }
 
+    /** A data-driven diamond: stride streamReg one word through the
+     *  random-initialised window and branch on the loaded value.
+     *  Unlike the register-soup diamonds - whose operand dynamics
+     *  collapse into short cycles any real predictor memorises - the
+     *  stream walk reads fresh window entropy every execution, so
+     *  the outcome sequence's period is the whole window, far beyond
+     *  any realistic history length. This is the branch shape the
+     *  suite's data-driven members (interp, filter) get from their
+     *  inputs, made reachable by the mining climb. */
+    void
+    emitDataBranch(Rng &rng)
+    {
+        unsigned val = dataReg(rng);
+        BlockId then_b = builder.newBlock();
+        BlockId else_b = builder.newBlock();
+        BlockId join = builder.newBlock();
+        builder.append(
+            makeAluImm(Opcode::Add, streamReg, streamReg, 1));
+        builder.append(makeAluImm(Opcode::And, streamReg, streamReg,
+                                  cfg.dataWindow - 1));
+        builder.append(makeLoad(val, streamReg, 0));
+        // Window words are uniform below 4096; a mid-window
+        // threshold keeps the outcome distribution near even.
+        builder.condBrImm(
+            rng.chance(0.5) ? CmpRel::Lt : CmpRel::Ge, val,
+            1024 + static_cast<std::int64_t>(rng.below(2048)),
+            then_b, else_b);
+        // Arms at full nest depth: fillArm falls through to straight
+        // code, so the hard branch is never buried under nesting.
+        fillArm(rng, then_b, join, cfg.predNestDepth);
+        fillArm(rng, else_b, join, cfg.predNestDepth);
+        builder.setBlock(join);
+    }
+
     void
     emitItem(Rng &rng, std::uint64_t roll)
     {
+        // Drawn ONLY when the knob is on: with dataBranchPercent ==
+        // 0 (every config predating the knob, the whole replay
+        // corpus) the rng sequence is untouched and old seeds
+        // regenerate byte-identical programs.
+        if (cfg.dataBranchPercent > 0 &&
+            rng.below(100) < cfg.dataBranchPercent) {
+            emitDataBranch(rng);
+            return;
+        }
         if (roll >= cfg.branchDensity) {
             emitStraight(rng);
             return;
@@ -415,7 +462,8 @@ clampConfig(FuzzProgramConfig &cfg)
     cfg.callDepth = std::min(cfg.callDepth, 6u);
     cfg.hbPressure = std::min(cfg.hbPressure, 100u);
     cfg.divEdgePercent = std::min(cfg.divEdgePercent, 100u);
-    cfg.repeats = std::clamp<std::int64_t>(cfg.repeats, 1, 64);
+    cfg.dataBranchPercent = std::min(cfg.dataBranchPercent, 100u);
+    cfg.repeats = std::clamp<std::int64_t>(cfg.repeats, 1, 4096);
     cfg.dataWindow = std::clamp<std::int64_t>(cfg.dataWindow, 16, 4096);
     // Round down to a power of two: the generator's address masks
     // assume dataWindow - 1 is an all-ones mask.
@@ -440,6 +488,7 @@ configFingerprint(const FuzzProgramConfig &cfg)
     feed(cfg.callDepth);
     feed(cfg.hbPressure);
     feed(cfg.divEdgePercent);
+    feed(cfg.dataBranchPercent);
     feed(cfg.emptyRas ? 1 : 0);
     feed(static_cast<std::uint64_t>(cfg.dataWindow));
     feed(static_cast<std::uint64_t>(cfg.repeats));

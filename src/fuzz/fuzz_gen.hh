@@ -54,6 +54,10 @@ struct FuzzProgramConfig
     unsigned hbPressure = 50;    ///< 0..100 region-formation pressure
     unsigned divEdgePercent = 0; ///< percent chance of div/overflow
                                  ///< edge-case blocks per item
+    unsigned dataBranchPercent = 0; ///< percent of items that branch
+                                    ///< on a strided window load (a
+                                    ///< full-window-period outcome
+                                    ///< stream; 0 = legacy draws)
     bool emptyRas = false;       ///< trailing ret on an empty stack
     std::int64_t dataWindow = 1024; ///< memory words touched (pow2)
     std::int64_t repeats = 12;   ///< body outer-loop trip count

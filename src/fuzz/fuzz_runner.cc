@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "bpred/factory.hh"
 #include "util/rng.hh"
 
 namespace pabp::fuzz {
@@ -16,12 +17,6 @@ mix(std::uint64_t seed, std::uint64_t stream)
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
     return z ^ (z >> 31);
 }
-
-const char *const predictorKinds[] = {
-    "static-taken", "static-nottaken", "bimodal", "gshare", "gag",
-    "local",        "agree",           "yags",    "perceptron", "comb",
-    "tage",
-};
 
 /** Engine-flag combinations a campaign cycles through: the E6 axis
  *  (base/sfpf/pgu/both), the speculative-squash extension with both
@@ -42,7 +37,11 @@ deriveCase(std::uint64_t seed)
     FuzzCase c;
     c.name = "campaign-" + std::to_string(seed);
     c.seed = seed;
-    c.predictor = predictorKinds[rng.below(std::size(predictorKinds))];
+    // The registry order (bpred/factory.cc) is append-only precisely
+    // so this draw keeps mapping old campaign seeds to the same
+    // predictor kind.
+    const std::vector<std::string> &kinds = allPredictorKinds();
+    c.predictor = kinds[rng.below(kinds.size())];
     c.sizeLog2 = 8 + static_cast<unsigned>(rng.below(5));
 
     Expected<EngineConfig> engine =

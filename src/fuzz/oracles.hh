@@ -78,6 +78,14 @@ struct RunEnv
      * it - the acceptance check behind `pabp-fuzz --check-harness`.
      */
     bool injectClampBug = false;
+    /**
+     * Exit-code self-check for the mining mode: make the
+     * predictability scorer (fuzz/mining.hh) report a typed failure
+     * on every case. The CLI must surface that as exit 3 - a scoring
+     * infrastructure problem, NOT a correctness bug - and must never
+     * quarantine or emit the affected seed as a reproducer.
+     */
+    bool injectScorerFailure = false;
 };
 
 /** Run one oracle. Ok = agreement; non-Ok = divergence report. */

@@ -133,6 +133,15 @@ shrinkCaseWith(const FuzzCase &start, const FailPredicate &still_fails,
         sh.shrinkNumeric(
             0,
             [](const FuzzCase &c) {
+                return static_cast<std::uint64_t>(
+                    c.gen.dataBranchPercent);
+            },
+            [](FuzzCase &c, std::uint64_t v) {
+                c.gen.dataBranchPercent = static_cast<unsigned>(v);
+            });
+        sh.shrinkNumeric(
+            0,
+            [](const FuzzCase &c) {
                 return static_cast<std::uint64_t>(c.gen.hbPressure);
             },
             [](FuzzCase &c, std::uint64_t v) {

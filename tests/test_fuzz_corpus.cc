@@ -252,6 +252,7 @@ TEST(FuzzCli, HelpDocumentsReplayAndExitsZero)
     text << in.rdbuf();
     EXPECT_NE(text.str().find("--replay"), std::string::npos);
     EXPECT_NE(text.str().find("--check-harness"), std::string::npos);
+    EXPECT_NE(text.str().find("--mine"), std::string::npos);
 }
 
 TEST(FuzzCli, CheckHarnessExitsZero)
@@ -259,6 +260,35 @@ TEST(FuzzCli, CheckHarnessExitsZero)
     EXPECT_EQ(runTool("--scratch-dir " + ::testing::TempDir() +
                       " --check-harness"),
               0);
+}
+
+TEST(FuzzCli, MiningScorerFailureExitsThreeWithoutQuarantine)
+{
+    // Exit 3 is the mining-specific verdict: the predictability
+    // SCORER failed, which is a scoring-infrastructure problem, not
+    // a correctness divergence. Nothing may be quarantined or
+    // emitted - an empty emit dir is the proof that scorer trouble
+    // never masquerades as a reproducer.
+    namespace fs = std::filesystem;
+    const std::string dir =
+        ::testing::TempDir() + "mine-scorer-fail";
+    fs::create_directories(dir);
+    EXPECT_EQ(runTool("--mine low-entropy-gap --runs 2 "
+                      "--mine-steps 1 --inject-scorer-failure "
+                      "--scratch-dir " +
+                      ::testing::TempDir() + " --emit-dir " + dir),
+              3);
+    std::size_t files = 0;
+    for (const fs::directory_entry &e : fs::directory_iterator(dir)) {
+        (void)e;
+        ++files;
+    }
+    EXPECT_EQ(files, 0u);
+}
+
+TEST(FuzzCli, MiningUnknownStrategyExitsTwo)
+{
+    EXPECT_EQ(runTool("--mine no-such-strategy"), 2);
 }
 
 } // namespace

@@ -120,6 +120,34 @@ TEST(FuzzGen, BranchDensityIsMonotoneInStaticBranches)
     }
 }
 
+// The data-branch knob is drawn only when nonzero, so turning it on
+// must strictly add static branches for a branch-free base config,
+// and the programs must still pass every verification layer (the
+// knob reserves its own stream register; a clash with the counter or
+// driver registers would corrupt control flow, not just data).
+TEST(FuzzGen, DataBranchKnobAddsBranchesAndVerifies)
+{
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        FuzzProgramConfig off;
+        off.items = 8;
+        off.branchDensity = 0;
+        FuzzProgramConfig on = off;
+        on.dataBranchPercent = 100;
+        EXPECT_GT(staticCondBranches(makeFuzzWorkload(seed, on).fn),
+                  staticCondBranches(makeFuzzWorkload(seed, off).fn))
+            << "seed " << seed;
+
+        FuzzPrograms p = buildFuzzPrograms(seed, on);
+        EXPECT_EQ(verifyFunction(p.body.fn), "") << "seed " << seed;
+        EXPECT_EQ(validateProgram(p.branchy.prog), "")
+            << "seed " << seed;
+        EXPECT_EQ(validateProgram(p.converted.prog), "")
+            << "seed " << seed;
+        EXPECT_EQ(verifyPredicatedProgram(p.converted.prog), "")
+            << "seed " << seed;
+    }
+}
+
 TEST(FuzzGen, ClampConfigEnforcesRanges)
 {
     FuzzProgramConfig cfg;
@@ -140,7 +168,9 @@ TEST(FuzzGen, ClampConfigEnforcesRanges)
     EXPECT_EQ(cfg.callDepth, 6u);
     EXPECT_EQ(cfg.hbPressure, 100u);
     EXPECT_EQ(cfg.divEdgePercent, 100u);
-    EXPECT_EQ(cfg.repeats, 64);
+    // The cap leaves the miner room to grow run length well past the
+    // campaign draw's range (mining climbs repeats multiplicatively).
+    EXPECT_EQ(cfg.repeats, 4096);
     EXPECT_EQ(cfg.dataWindow, 512); // rounded down to a power of two
 
     FuzzProgramConfig tiny;
@@ -178,6 +208,7 @@ TEST(FuzzCaseFormat, RoundTripsThroughText)
     c.gen.callDepth = 2;
     c.gen.hbPressure = 91;
     c.gen.divEdgePercent = 12;
+    c.gen.dataBranchPercent = 45;
     c.gen.emptyRas = true;
     c.gen.dataWindow = 256;
     c.gen.repeats = 9;

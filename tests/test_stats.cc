@@ -19,6 +19,7 @@
 #include "bpred/gshare.hh"
 #include "core/branch_profile.hh"
 #include "core/engine.hh"
+#include "core/predictability.hh"
 #include "isa/program.hh"
 #include "sweep.hh"
 #include "util/metrics.hh"
@@ -372,6 +373,61 @@ TEST(MetricsGolden, ExactJsonBytes)
     EXPECT_EQ(os.str(), golden);
 }
 
+TEST(MetricsGolden, PredictabilityExportExactBytes)
+{
+    // The predictability.* names (docs/OBSERVABILITY.md) ride the
+    // same byte-stability contract as every other exported metric:
+    // adding names is fine, re-shaping existing ones must be
+    // deliberate. Inputs are chosen so every entropy is exactly 0 or
+    // 1 bit - no floating-point formatting surprises.
+    PredictabilityAnalyzer an;
+    for (int i = 0; i < 8; ++i)
+        an.observe(64, i % 2 == 0); // alternator: H(k0)=1, H(k>0)=0
+    for (int i = 0; i < 4; ++i)
+        an.observe(96, true); // constant: H == 0 everywhere
+
+    MetricsExporter ex;
+    exportPredictability(ex, an.report());
+    std::ostringstream os;
+    ex.writeJson(os);
+    const std::string golden = "{\n"
+        "  \"schema\": \"pabp.metrics\",\n"
+        "  \"version\": 1,\n"
+        "  \"metrics\": {\n"
+        "    \"predictability.conditioned.k0\": 12,\n"
+        "    \"predictability.conditioned.k16\": 0,\n"
+        "    \"predictability.conditioned.k4\": 4,\n"
+        "    \"predictability.conditioned.k8\": 0,\n"
+        "    \"predictability.entropy.k0\": 0.666666667,\n"
+        "    \"predictability.entropy.k16\": 0,\n"
+        "    \"predictability.entropy.k4\": 0,\n"
+        "    \"predictability.entropy.k8\": 0,\n"
+        "    \"predictability.evicted_branches\": 0,\n"
+        "    \"predictability.evicted_occurrences\": 0,\n"
+        "    \"predictability.evicted_patterns\": 0,\n"
+        "    \"predictability.occurrences\": 12,\n"
+        "    \"predictability.static_branches\": 2,\n"
+        "    \"predictability.taken\": 8,\n"
+        "    \"predictability.taken_rate\": 0.666666667,\n"
+        "    \"predictability.transition_rate\": 0.583333333,\n"
+        "    \"predictability.transitions\": 7\n"
+        "  },\n"
+        "  \"tables\": {\n"
+        "    \"predictability\": {\n"
+        "      \"columns\": [\"pc\", \"occurrences\", \"taken\", "
+        "\"transitions\", \"entropy_k0_millibits\", "
+        "\"entropy_k4_millibits\", \"entropy_k8_millibits\", "
+        "\"entropy_k16_millibits\"],\n"
+        "      \"rows\": [\n"
+        "        [64, 8, 4, 7, 1000, 0, 0, 0],\n"
+        "        [96, 4, 4, 0, 0, 0, 0, 0]\n"
+        "      ]\n"
+        "    }\n"
+        "  }\n"
+        "}\n";
+    EXPECT_EQ(os.str(), golden);
+}
+
 TEST(MetricsGolden, EmptyDocumentShape)
 {
     MetricsExporter ex;
@@ -617,6 +673,66 @@ TEST(SweepMetrics, FilesAreByteIdenticalAcrossJobCounts)
         EXPECT_EQ(readFile(f1), readFile(f4)) << grid1[i].workload;
         std::remove(f1.c_str());
         std::remove(f4.c_str());
+    }
+}
+
+TEST(SweepMetrics, CharacterizedCellsByteIdenticalAcrossJobCounts)
+{
+    // Characterization rides the shared decoded trace, so the
+    // exported predictability.* bytes must be identical at jobs=1
+    // and jobs=8 and across replay strategies - the analyzer is
+    // pure over the stream, and the stream is cached per program.
+    auto grid = [](const std::string &dir, bool fast) {
+        std::vector<RunSpec> specs;
+        for (const char *name : {"bsort", "interp", "dchain"}) {
+            RunSpec spec;
+            spec.workload = name;
+            spec.maxInsts = 15000;
+            spec.metricsDir = dir;
+            spec.characterize = true;
+            spec.fastReplay = fast;
+            specs.push_back(spec);
+        }
+        return specs;
+    };
+    const std::string dir1 = tempPath("jobs1");
+    const std::string dir8 = tempPath("jobs8");
+    const std::string dirRef = tempPath("ref");
+    std::vector<RunSpec> grid1 = grid(dir1, true);
+    std::vector<RunSpec> grid8 = grid(dir8, true);
+    std::vector<RunSpec> gridRef = grid(dirRef, false);
+
+    SweepRunner serial(SweepRunner::Config{1, 0});
+    SweepRunner parallel(SweepRunner::Config{8, 0});
+    std::vector<RunResult> serialResults = serial.run(grid1);
+    for (const RunResult &r : serialResults)
+        ASSERT_TRUE(r.status.ok()) << r.status.toString();
+    for (const RunResult &r : parallel.run(grid8))
+        ASSERT_TRUE(r.status.ok()) << r.status.toString();
+    for (const RunResult &r : serial.run(gridRef))
+        ASSERT_TRUE(r.status.ok()) << r.status.toString();
+
+    for (std::size_t i = 0; i < grid1.size(); ++i) {
+        // The report handle is populated and non-trivial.
+        ASSERT_NE(serialResults[i].predictability, nullptr);
+        EXPECT_GT(serialResults[i].predictability->occurrences, 0u);
+
+        const std::uint64_t fp = specFingerprint(grid1[i]);
+        const std::string f1 = metricsFilePath(dir1, fp);
+        const std::string f8 = metricsFilePath(dir8, fp);
+        const std::string fr = metricsFilePath(dirRef, fp);
+        const std::string bytes = readFile(f1);
+        EXPECT_EQ(bytes, readFile(f8)) << grid1[i].workload;
+        EXPECT_EQ(bytes, readFile(fr)) << grid1[i].workload;
+        EXPECT_NE(bytes.find("\"predictability.entropy.k0\""),
+                  std::string::npos)
+            << grid1[i].workload;
+        EXPECT_NE(bytes.find("\"predictability.tier0."),
+                  std::string::npos)
+            << grid1[i].workload;
+        std::remove(f1.c_str());
+        std::remove(f8.c_str());
+        std::remove(fr.c_str());
     }
 }
 

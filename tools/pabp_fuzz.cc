@@ -7,6 +7,11 @@
  *   pabp-fuzz --runs N [--seed S]          randomised campaign
  *   pabp-fuzz --check-harness              inject the PR-4 clamp bug,
  *                                          prove it is caught+shrunk
+ *   pabp-fuzz --mine low-entropy-gap       adversarial workload mining
+ *                                          (fuzz/mining.hh): hill-climb
+ *                                          the generator knobs toward
+ *                                          hard-to-predict programs and
+ *                                          emit the winners as .pabp
  *
  * Each mode runs the five differential oracles (if-conversion,
  * emulator-vs-pipeline, reference-vs-fast replay, checkpoint/resume,
@@ -15,7 +20,11 @@
  *
  * Exit status matches the pabp-stats conventions: 0 = all oracles
  * agreed, 1 = a divergence was found (reproducers printed and, with
- * --emit-dir, written), 2 = usage or input error.
+ * --emit-dir, written), 2 = usage or input error. The mining mode
+ * adds exit 3: the predictability *scorer* failed on a candidate -
+ * a scoring-infrastructure problem, NOT a correctness bug - so the
+ * seed is reported distinctly and never quarantined or emitted as a
+ * reproducer. An oracle divergence on a mined case is still exit 1.
  */
 
 #include <algorithm>
@@ -25,6 +34,7 @@
 #include <vector>
 
 #include "fuzz/fuzz_runner.hh"
+#include "fuzz/mining.hh"
 #include "util/options.hh"
 
 namespace {
@@ -59,6 +69,21 @@ declareOptions()
                  "testing hook: run replay/campaign modes with the "
                  "PR-4 cursor-clamp bug injected (forces the "
                  "checkpoint oracle to diverge, exit 1)");
+    opts.declare("mine", "",
+                 "adversarial mining mode: hill-climb generator knobs "
+                 "under the named scoring strategy "
+                 "(low-entropy-gap); --runs = restarts, --seed = "
+                 "first restart seed, winners go to --emit-dir");
+    opts.declare("mine-steps", "12",
+                 "mining: knob mutations per hill-climb restart");
+    opts.declare("mine-top", "3",
+                 "mining: emit the N best-scoring cases");
+    opts.declare("mine-max-insts", "50000",
+                 "mining: scoring replay budget per candidate");
+    opts.declare("inject-scorer-failure", "false",
+                 "testing hook: make the mining scorer fail on every "
+                 "candidate (must surface as exit 3, with no case "
+                 "quarantined or emitted)");
     return opts;
 }
 
@@ -92,8 +117,46 @@ main(int argc, char **argv)
     RunEnv env;
     env.scratchDir = opts.str("scratch-dir");
     env.injectClampBug = opts.flag("inject-clamp-bug");
+    env.injectScorerFailure = opts.flag("inject-scorer-failure");
     const unsigned budget =
         static_cast<unsigned>(opts.integer("shrink-budget"));
+
+    if (!opts.str("mine").empty()) {
+        MiningConfig cfg;
+        cfg.strategy = opts.str("mine");
+        Status valid = validateMiningStrategy(cfg.strategy);
+        if (!valid.ok()) {
+            std::cerr << "pabp-fuzz: " << valid.toString() << "\n";
+            return 2;
+        }
+        cfg.baseSeed =
+            static_cast<std::uint64_t>(opts.integer("seed"));
+        const std::int64_t mineRuns = opts.integer("runs");
+        if (mineRuns > 0)
+            cfg.restarts = static_cast<unsigned>(mineRuns);
+        cfg.steps =
+            static_cast<unsigned>(opts.integer("mine-steps"));
+        cfg.emitTop =
+            static_cast<unsigned>(opts.integer("mine-top"));
+        cfg.maxInsts = static_cast<std::uint64_t>(
+            opts.integer("mine-max-insts"));
+        cfg.emitDir = opts.str("emit-dir");
+        Expected<MiningResult> mined =
+            runMiningCampaign(cfg, env, std::cout);
+        if (!mined.ok()) {
+            std::cerr << "pabp-fuzz: " << mined.status().toString()
+                      << "\n";
+            return 2;
+        }
+        // Correctness beats scoring in the verdict: a divergence on
+        // a mined case is a real bug (1); scorer trouble alone is
+        // the distinct mining code (3).
+        if (mined.value().oracleFailures > 0)
+            return 1;
+        if (mined.value().scorerFailures > 0)
+            return 3;
+        return 0;
+    }
 
     if (opts.flag("check-harness")) {
         Status check = checkHarness(env, std::cout);

@@ -13,11 +13,19 @@
  *   pabp-stats --pack <dir> <out.pabpj>         pack loose
  *                                               pabp-metrics-*.json
  *                                               files into a journal
+ *   pabp-stats --characterize <trace>           predictability metrics
+ *                                               (core/predictability.hh)
+ *                                               for a recorded
+ *                                               (PABPTRC1/2) or decoded
+ *                                               (PABPDTF1) trace, as a
+ *                                               pabp.metrics document
+ *                                               on stdout
  *
  * Journal inputs are detected by magic, so the two-argument diff form
- * accepts either representation (both sides must match). Exit status:
- * 0 = identical, 1 = differences found, 2 = usage or input error - so
- * scripts can use it both as a comparator and as a gate.
+ * accepts either representation (both sides must match), and
+ * --characterize accepts both trace formats the same way. Exit
+ * status: 0 = identical, 1 = differences found, 2 = usage or input
+ * error - so scripts can use it both as a comparator and as a gate.
  */
 
 #include <algorithm>
@@ -32,6 +40,9 @@
 #include <string>
 #include <vector>
 
+#include "core/predictability.hh"
+#include "sim/decoded_trace.hh"
+#include "sim/trace_io.hh"
 #include "util/journal.hh"
 #include "util/metrics.hh"
 
@@ -48,9 +59,13 @@ usage()
         << "       pabp-stats --list <journal>\n"
         << "       pabp-stats --extract <fingerprint> <journal>\n"
         << "       pabp-stats --pack <metrics-dir> <out-journal>\n"
+        << "       pabp-stats --characterize <trace>\n"
         << "  Diffs two pabp.metrics documents or two sweep journals\n"
         << "  (common cells, keyed by spec fingerprint); --top bounds\n"
-        << "  the per-table rows printed (0 = all).\n";
+        << "  the per-table rows printed (0 = all). --characterize\n"
+        << "  prints predictability.* metrics (taken/transition\n"
+        << "  rates, history-conditioned entropy) for a recorded or\n"
+        << "  decoded trace, dispatched on the file magic.\n";
     return 2;
 }
 
@@ -250,6 +265,55 @@ packMetricsDir(const std::string &dir, const std::string &out_path)
     return 0;
 }
 
+/**
+ * --characterize: dispatch on the trace magic (PABPTRC1/2 recorded,
+ * PABPDTF1 mapped decoded), run the predictability analyzer over the
+ * conditional-branch stream, and print the metrics document. The
+ * output is itself a pabp.metrics JSON, so the diff form of this tool
+ * can compare two characterizations byte-for-byte.
+ */
+int
+characterizeTraceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    char magic[8] = {};
+    if (!in || !in.read(magic, sizeof(magic))) {
+        std::cerr << "pabp-stats: cannot read " << path << "\n";
+        return 2;
+    }
+    in.close();
+
+    PredictabilityReport report;
+    if (std::memcmp(magic, "PABPTRC", 7) == 0) {
+        Expected<RecordedTrace> trace = tryLoadTraceFile(path);
+        if (!trace.ok()) {
+            std::cerr << "pabp-stats: " << path << ": "
+                      << trace.status().toString() << "\n";
+            return 2;
+        }
+        report = characterizeTrace(trace.value());
+    } else if (std::memcmp(magic, "PABPDTF1", 8) == 0) {
+        Expected<DecodedTrace> trace = mapDecodedTraceFile(path);
+        if (!trace.ok()) {
+            std::cerr << "pabp-stats: " << path << ": "
+                      << trace.status().toString() << "\n";
+            return 2;
+        }
+        report = characterizeTrace(trace.value());
+    } else {
+        std::cerr << "pabp-stats: " << path
+                  << ": not a recorded (PABPTRC1/2) or decoded "
+                     "(PABPDTF1) trace\n";
+        return 2;
+    }
+
+    MetricsExporter ex;
+    ex.setText("source", path);
+    exportPredictability(ex, report);
+    ex.writeJson(std::cout);
+    return 0;
+}
+
 int
 diffJournals(const std::string (&paths)[2],
              const std::string (&bytes)[2], std::size_t top_k)
@@ -337,7 +401,7 @@ main(int argc, char **argv)
                 return usage();
             top_k = static_cast<std::size_t>(v);
         } else if (arg == "--list" || arg == "--extract" ||
-                   arg == "--pack") {
+                   arg == "--pack" || arg == "--characterize") {
             if (!mode.empty())
                 return usage();
             mode = arg;
@@ -358,6 +422,9 @@ main(int argc, char **argv)
                                 : usage();
     if (mode == "--pack")
         return args.size() == 2 ? packMetricsDir(args[0], args[1])
+                                : usage();
+    if (mode == "--characterize")
+        return args.size() == 1 ? characterizeTraceFile(args[0])
                                 : usage();
     if (args.size() != 2)
         return usage();
